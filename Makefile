@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test bench experiments full clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Refresh the recorded tables in EXPERIMENTS.md (scale 0.15, seed 1).
+experiments:
+	$(GO) run ./cmd/mptcp-bench -scale 0.15 -seed 1 -markdown | tee experiments_output.md
+
+full:
+	$(GO) run ./cmd/mptcp-bench -full
+
+clean:
+	rm -f test_output.txt bench_output.txt experiments_output.md

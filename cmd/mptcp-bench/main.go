@@ -1,0 +1,77 @@
+// Command mptcp-bench runs the paper-reproduction experiments and prints
+// the rows each figure plots.
+//
+// Usage:
+//
+//	mptcp-bench [-exp figN[,figM...]] [-scale 0.3] [-seed 1] [-reps 0] [-full]
+//
+// -full sets scale to 1.0 (the published parameters); the default scale
+// keeps the whole suite fast enough for a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mptcpsim/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mptcp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mptcp-bench", flag.ContinueOnError)
+	var (
+		expFlag  = fs.String("exp", "all", "comma-separated experiment IDs (see -list) or 'all'")
+		scale    = fs.Float64("scale", 0.25, "scale factor in (0,1]: users, sizes and horizons")
+		seed     = fs.Int64("seed", 1, "random seed")
+		reps     = fs.Int("reps", 0, "override repetition count (0 = scaled default)")
+		full     = fs.Bool("full", false, "run at the published scale (same as -scale 1)")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		markdown = fs.Bool("markdown", false, "wrap each table in a fenced block for EXPERIMENTS.md")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *full {
+		*scale = 1
+	}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, Reps: *reps}
+
+	var selected []exp.Experiment
+	if *expFlag == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := exp.Lookup(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(exp.IDs(), ", "))
+			}
+			selected = append(selected, e)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		res := e.Run(cfg)
+		if *markdown {
+			fmt.Printf("### %s — %s\n\n```\n%s```\n\n", res.ID, e.Title, res)
+		} else {
+			fmt.Println(res)
+			fmt.Printf("(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+	return nil
+}

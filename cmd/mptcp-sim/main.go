@@ -1,0 +1,135 @@
+// Command mptcp-sim runs one ad-hoc MPTCP scenario and prints transport
+// and energy metrics, for quick exploration outside the figure harness.
+//
+//	mptcp-sim -topo twopath -alg dts -duration 60s
+//	mptcp-sim -topo fattree -alg lia -subflows 8 -hosts 16
+//	mptcp-sim -topo hetwireless -alg dts-lia -cross
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mptcpsim/internal/core"
+	"mptcpsim/internal/energy"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mptcp-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mptcp-sim", flag.ContinueOnError)
+	var (
+		topoName = fs.String("topo", "twopath", "scenario: twopath, hetwireless, dumbbell, ec2, fattree, vl2, bcube")
+		alg      = fs.String("alg", "lia", "congestion control: "+strings.Join(core.Names(), ", "))
+		subflows = fs.Int("subflows", 2, "subflows for the datacenter topologies")
+		hosts    = fs.Int("hosts", 16, "hosts for the ec2 topology")
+		duration = fs.Duration("duration", 30*time.Second, "simulated duration")
+		transfer = fs.Int64("bytes", 0, "transfer size (0 = long-lived flow)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		cross    = fs.Bool("cross", false, "add Pareto bursty cross traffic (twopath/hetwireless)")
+		rwnd     = fs.Int64("rwnd", 0, "connection receive window in segments (0 = unlimited)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng := sim.NewEngine(*seed)
+	paths, crossLinks, err := buildScenario(eng, *topoName, *subflows, *hosts)
+	if err != nil {
+		return err
+	}
+	if *cross {
+		for _, l := range crossLinks {
+			workload.NewParetoOnOff(eng, []*netem.Link{l}, workload.ParetoConfig{
+				RateBps: l.Rate() * 9 / 10,
+			}).Start()
+		}
+	}
+
+	conn, err := mptcp.New(eng, mptcp.Config{
+		Algorithm:     *alg,
+		TransferBytes: *transfer,
+		RwndSegments:  *rwnd,
+	}, 1, paths...)
+	if err != nil {
+		return err
+	}
+	meter := energy.NewMeter(eng, energy.NewI7(), energy.ConnProbe(conn), 0)
+	meter.Start()
+	if *transfer > 0 {
+		conn.OnComplete = func(at sim.Time) {
+			fmt.Printf("transfer completed at %.3fs\n", at.Seconds())
+			meter.Stop()
+			eng.Stop()
+		}
+	}
+
+	start := time.Now()
+	conn.Start()
+	eng.Run(sim.FromDuration(*duration))
+
+	fmt.Printf("simulated %.1fs in %.2fs wall (%d events)\n",
+		eng.Now().Seconds(), time.Since(start).Seconds(), eng.Processed())
+	fmt.Printf("goodput: %.2f Mb/s (%.1f MB acked)\n",
+		conn.MeanThroughputBps()/1e6, float64(conn.AckedBytes())/(1<<20))
+	fmt.Printf("energy:  %.1f J (mean %.2f W)\n", meter.Joules(), meter.MeanPower())
+	for _, s := range conn.Subflows() {
+		st := s.Stats()
+		fmt.Printf("  subflow %d %-12s cwnd=%6.1f srtt=%-12v acked=%-8d loss=%-4d rtx=%-5d timeouts=%d\n",
+			s.ID(), s.Path().Name, s.Cwnd(), s.SRTT().Duration(), s.Acked(),
+			st.LossEvents, st.PktsRtx, st.Timeouts)
+	}
+	return nil
+}
+
+// buildScenario wires the requested topology and returns the paths of the
+// measured connection plus links suitable for cross-traffic injection.
+func buildScenario(eng *sim.Engine, name string, subflows, hosts int) ([]*netem.Path, []*netem.Link, error) {
+	switch name {
+	case "twopath":
+		tp := topo.NewTwoPath(eng, topo.TwoPathConfig{})
+		return tp.Paths(), []*netem.Link{tp.CrossEntry(0), tp.CrossEntry(1)}, nil
+	case "hetwireless":
+		h := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
+		return h.Paths(), []*netem.Link{h.CrossEntry(0), h.CrossEntry(1)}, nil
+	case "dumbbell":
+		d := topo.NewDumbbell(eng, topo.DumbbellConfig{Users: 1})
+		return d.MPTCPPaths(0), nil, nil
+	case "ec2":
+		v := topo.NewEC2VPC(eng, topo.EC2Config{Hosts: hosts})
+		return v.Paths(0, 1, subflows), nil, nil
+	case "fattree":
+		ft, err := topo.NewFatTree(eng, topo.FatTreeConfig{K: 4})
+		if err != nil {
+			return nil, nil, err
+		}
+		return ft.Paths(0, ft.Hosts()-1, subflows), nil, nil
+	case "vl2":
+		v, err := topo.NewVL2(eng, topo.VL2Config{HostsPerToR: 2, ToRs: 8, Aggs: 4, Ints: 4})
+		if err != nil {
+			return nil, nil, err
+		}
+		return v.Paths(0, v.Hosts()-1, subflows), nil, nil
+	case "bcube":
+		b, err := topo.NewBCube(eng, topo.BCubeConfig{N: 3, K: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		return b.Paths(0, b.Hosts()-1, subflows), nil, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

@@ -1,0 +1,15 @@
+// Package mptcpsim is a from-scratch Go reproduction of "On
+// Energy-Efficient Congestion Control for Multipath TCP" (Zhao, Liu &
+// Wang, IEEE ICDCS 2017): a deterministic packet-level network simulator,
+// a full MPTCP transport with pluggable coupled congestion control, the
+// paper's Eq. 3 congestion-control model with all the algorithms it
+// generalizes, calibrated host/radio energy models, the evaluation
+// topologies (two-bottleneck sharing, two-path shifting, EC2 VPC, FatTree,
+// VL2, BCube, heterogeneous wireless), and a harness that regenerates
+// every figure of the paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The runnable entry points
+// are cmd/mptcp-bench (the experiment harness), cmd/mptcp-sim (ad-hoc
+// scenarios) and the programs under examples/.
+package mptcpsim

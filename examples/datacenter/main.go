@@ -1,0 +1,74 @@
+// Datacenter runs permutation traffic on a FatTree and shows how MPTCP's
+// subflow count changes utilization and energy overhead (the Fig. 12-14
+// experiment at example scale).
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mptcpsim/internal/energy"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("FatTree(k=4), 16 hosts, permutation traffic, LIA, 20 s")
+	fmt.Printf("%-9s %16s %12s %12s\n", "subflows", "agg_goodput_mbps", "energy_j", "j_per_gbit")
+	for _, nsub := range []int{1, 2, 4, 8} {
+		if err := one(nsub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func one(nsub int) error {
+	eng := sim.NewEngine(3)
+	ft, err := topo.NewFatTree(eng, topo.FatTreeConfig{K: 4})
+	if err != nil {
+		return err
+	}
+	perm := workload.Permutation(eng, ft.Hosts())
+
+	var (
+		conns  []*mptcp.Conn
+		meters []*energy.Meter
+	)
+	for h := 0; h < ft.Hosts(); h++ {
+		conn, err := mptcp.New(eng, mptcp.Config{Algorithm: "lia"},
+			uint64(h+1), ft.Paths(h, perm[h], nsub)...)
+		if err != nil {
+			return err
+		}
+		m := energy.NewMeter(eng, energy.NewI7(), energy.ConnProbe(conn), 0)
+		m.Start()
+		conns = append(conns, conn)
+		meters = append(meters, m)
+		conn.Start()
+	}
+
+	const horizon = 20 * sim.Second
+	eng.Run(horizon)
+
+	var joules float64
+	var bytes uint64
+	for i, c := range conns {
+		joules += meters[i].Joules()
+		bytes += c.AckedBytes()
+	}
+	agg := float64(bytes) * 8 / horizon.Seconds()
+	fmt.Printf("%-9d %16.0f %12.0f %12.1f\n",
+		nsub, agg/1e6, joules, energy.PerGigabit(joules, bytes))
+	return nil
+}

@@ -1,0 +1,63 @@
+package core
+
+import "math"
+
+// Balia — the Balanced Linked Adaptation algorithm (Peng, Walid, Hwang &
+// Low, SIGMETRICS 2013 / ToN 2016) — balances TCP-friendliness,
+// responsiveness and window oscillation. With x_r = w_r/RTT_r and
+// α_r = max_k x_k / x_r:
+//
+//	per ACK:  w_r += (x_r/RTT_r) / (Σ_k x_k)² · (1+α_r)/2 · (4+α_r)/5
+//	per loss: w_r -= (w_r/2) · min(α_r, 3/2)
+type Balia struct{}
+
+// NewBalia returns a Balia instance.
+func NewBalia() *Balia { return &Balia{} }
+
+// Name implements Algorithm.
+func (*Balia) Name() string { return "balia" }
+
+func baliaAlpha(flows []View, r int) float64 {
+	x := flows[r].Rate()
+	if x <= 0 {
+		return 1
+	}
+	var maxRate float64
+	for _, f := range flows {
+		if xr := f.Rate(); xr > maxRate {
+			maxRate = xr
+		}
+	}
+	return maxRate / x
+}
+
+// Increase implements Algorithm.
+func (*Balia) Increase(flows []View, r int) float64 {
+	f := flows[r]
+	if f.SRTT <= 0 {
+		return 0
+	}
+	sum := SumRates(flows)
+	if sum <= 0 {
+		return 0
+	}
+	a := baliaAlpha(flows, r)
+	return f.Rate() / f.SRTT / (sum * sum) * (1 + a) / 2 * (4 + a) / 5
+}
+
+// Decrease implements Algorithm.
+func (*Balia) Decrease(flows []View, r int) float64 {
+	f := flows[r]
+	a := baliaAlpha(flows, r)
+	return f.Cwnd - f.Cwnd/2*math.Min(a, 1.5)
+}
+
+var _ Algorithm = (*Balia)(nil)
+
+// NewECMTCP returns ecMTCP (Le et al., IEEE Communications Letters 2012),
+// the energy-aware shifting algorithm, expressed through the paper's §IV
+// decomposition ψ_r = RTT_r³(Σ_k x_k)² / (n·min_k RTT_k·w_r·Σ_k w_k) with
+// the standard halving decrease.
+func NewECMTCP() Algorithm {
+	return &Model{ModelName: "ecmtcp", Psi: PsiECMTCP}
+}

@@ -1,0 +1,60 @@
+package core
+
+import "math"
+
+// This file implements the paper's §V-A design conditions as executable
+// checks, used by tests and by the ablation benches.
+//
+// Condition 1 (TCP-friendliness): at equilibrium, ψ_h(x*) ≤ 1 on the best
+// path h = argmax_k x_k*, β_h = 1/2 and φ_h = 0. Then the connection's
+// aggregate equilibrium throughput √(2ψ_h/λ_h)/RTT_h never exceeds the
+// √(2/λ_h)/RTT_h a regular TCP would obtain on the best path.
+//
+// Condition 2 (Pareto-optimality): ψ derives from a concave utility via
+// θ_r(x*)·∂U_s/∂x_r = ψ_r·x_r²/(RTT_r²(Σx)²) at the utility maximizer.
+
+// EffectivePsi recovers the traffic-shifting parameter an algorithm is
+// using at the given state by inverting the per-ACK form of Eq. 3:
+// ψ_r = Δw_r · RTT_r² · (Σ_k x_k)² / w_r.
+func EffectivePsi(alg Algorithm, flows []View, r int) float64 {
+	f := flows[r]
+	if f.Cwnd <= 0 || f.SRTT <= 0 {
+		return 0
+	}
+	sum := SumRates(flows)
+	if sum <= 0 {
+		return 0
+	}
+	return alg.Increase(flows, r) * f.SRTT * f.SRTT * sum * sum / f.Cwnd
+}
+
+// BestPath returns h = argmax_k x_k, the subflow with the highest rate.
+func BestPath(flows []View) int {
+	best, bestRate := 0, -1.0
+	for k, f := range flows {
+		if x := f.Rate(); x > bestRate {
+			best, bestRate = k, x
+		}
+	}
+	return best
+}
+
+// SatisfiesCondition1 reports whether the algorithm's effective ψ on the
+// best path at the given state stays within the TCP-friendly bound ψ_h ≤ 1
+// (with tolerance tol for floating-point evaluation).
+func SatisfiesCondition1(alg Algorithm, flows []View, tol float64) bool {
+	h := BestPath(flows)
+	return EffectivePsi(alg, flows, h) <= 1+tol
+}
+
+// FriendlyThroughputBound returns the equilibrium aggregate-throughput
+// ratio between the multipath connection and a regular TCP on the best
+// path, √(ψ_h): Condition 1 requires it to be at most 1.
+func FriendlyThroughputBound(alg Algorithm, flows []View) float64 {
+	h := BestPath(flows)
+	psi := EffectivePsi(alg, flows, h)
+	if psi <= 0 {
+		return 0
+	}
+	return math.Sqrt(psi)
+}

@@ -1,0 +1,144 @@
+// Package core implements the paper's primary contribution: the general
+// multipath congestion-control model of Eq. 3 — window evolution decomposed
+// into a traffic-shifting parameter ψ_r, a decrease parameter β_r, a loss
+// signal λ_r and a compensative parameter φ_r — together with the existing
+// algorithms it generalizes (EWTCP, Coupled, LIA, OLIA, Balia, ecMTCP,
+// wVegas), the single-path baselines (Reno, DCTCP), and the paper's new
+// designs: DTS (Delay-based Traffic Shifting, Eq. 5 / Algorithm 1) and the
+// extended DTS with the energy-proportional price term (Eq. 6–9).
+//
+// Algorithms are pure window-evolution policies: the transport layer
+// (internal/tcp, internal/mptcp) keeps a View per subflow current and asks
+// the algorithm how the congestion window changes on ACKs and losses.
+// Algorithm values are per-connection: create one instance per connection
+// via New.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// View is the congestion-control-visible state of one subflow. RTTs are in
+// seconds, windows in packets (MSS units).
+type View struct {
+	Cwnd     float64 // congestion window
+	SSThresh float64
+	SRTT     float64 // smoothed RTT
+	LastRTT  float64 // most recent RTT sample
+	BaseRTT  float64 // minimum RTT observed on the path
+	Price    float64 // echoed per-path energy price (0 unless charged)
+
+	InSlowStart bool
+}
+
+// Rate returns the subflow's current sending rate x_r = w_r / RTT_r in
+// packets per second, the quantity the paper's fluid model works with.
+func (v View) Rate() float64 {
+	if v.SRTT <= 0 {
+		return 0
+	}
+	return v.Cwnd / v.SRTT
+}
+
+// SumRates returns Σ_k x_k over all subflows of the connection.
+func SumRates(flows []View) float64 {
+	var sum float64
+	for _, f := range flows {
+		sum += f.Rate()
+	}
+	return sum
+}
+
+// SumCwnd returns Σ_k w_k over all subflows.
+func SumCwnd(flows []View) float64 {
+	var sum float64
+	for _, f := range flows {
+		sum += f.Cwnd
+	}
+	return sum
+}
+
+// Algorithm is a (possibly coupled) congestion-control algorithm. Increase
+// and Decrease are consulted by the transport in congestion avoidance;
+// standard slow start is handled by the transport itself.
+type Algorithm interface {
+	Name() string
+
+	// Increase returns the congestion-window increment, in packets, applied
+	// for one newly acknowledged segment on subflow r.
+	Increase(flows []View, r int) float64
+
+	// Decrease returns the new congestion window for subflow r after a loss
+	// event (the transport floors it at its minimum window).
+	Decrease(flows []View, r int) float64
+}
+
+// AckObserver is implemented by algorithms that maintain internal state per
+// acknowledgement (OLIA's loss intervals, DCTCP's mark fraction). ece
+// reports whether the ACK carried an ECN echo.
+type AckObserver interface {
+	OnAck(flows []View, r int, ackedPkts int, ece bool)
+}
+
+// LossObserver is implemented by algorithms that track loss events beyond
+// the window decrease itself.
+type LossObserver interface {
+	OnLoss(flows []View, r int)
+}
+
+// RoundTuner is implemented by algorithms that adjust the window once per
+// RTT round rather than per ACK (wVegas — the paper's δ=1 case — and
+// DCTCP's alpha update). The transport calls OnRound at each round boundary
+// of subflow r; the returned values replace cwnd and ssthresh.
+type RoundTuner interface {
+	OnRound(flows []View, r int) (cwnd, ssthresh float64)
+}
+
+// Factory creates a fresh per-connection Algorithm instance.
+type Factory func() Algorithm
+
+var registry = map[string]Factory{
+	"reno":       func() Algorithm { return NewReno() },
+	"dctcp":      func() Algorithm { return NewDCTCP() },
+	"ewtcp":      func() Algorithm { return NewEWTCP() },
+	"coupled":    func() Algorithm { return NewCoupled() },
+	"lia":        func() Algorithm { return NewLIA() },
+	"olia":       func() Algorithm { return NewOLIA() },
+	"balia":      func() Algorithm { return NewBalia() },
+	"ecmtcp":     func() Algorithm { return NewECMTCP() },
+	"wvegas":     func() Algorithm { return NewWVegas() },
+	"dts":        func() Algorithm { return NewDTS() },
+	"dts-taylor": func() Algorithm { return &DTS{C: 1, Taylor: true} },
+	"dts-lia":    func() Algorithm { return NewDTSLIA() },
+	"dtsep":      func() Algorithm { return NewDTSEP(DefaultKappa) },
+	"dtsep-lia":  func() Algorithm { return NewDTSEPLIA(DefaultKappa) },
+}
+
+// New creates a per-connection instance of the named algorithm.
+func New(name string) (Algorithm, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown congestion control algorithm %q", name)
+	}
+	return f(), nil
+}
+
+// MustNew is New for callers with a known-valid name; it panics otherwise.
+func MustNew(name string) Algorithm {
+	a, err := New(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Names lists the registered algorithms in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,56 @@
+package core
+
+import "testing"
+
+// The per-ACK increase is the hottest algorithm call in the simulator;
+// these benches compare the algorithms' costs (the ablation behind the
+// paper's remark that path-selection schemes carry computational overhead
+// while congestion-control changes are nearly free).
+
+func benchIncrease(b *testing.B, name string) {
+	b.Helper()
+	alg := MustNew(name)
+	flows := []View{
+		{Cwnd: 30, SRTT: 0.03, LastRTT: 0.031, BaseRTT: 0.02},
+		{Cwnd: 12, SRTT: 0.08, LastRTT: 0.083, BaseRTT: 0.05},
+		{Cwnd: 55, SRTT: 0.012, LastRTT: 0.012, BaseRTT: 0.01},
+	}
+	if obs, ok := alg.(AckObserver); ok {
+		obs.OnAck(flows, 0, 1, false)
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += alg.Increase(flows, i%len(flows))
+	}
+	if sink == 0 {
+		b.Fatal("increase always zero")
+	}
+}
+
+func BenchmarkIncreaseReno(b *testing.B)   { benchIncrease(b, "reno") }
+func BenchmarkIncreaseLIA(b *testing.B)    { benchIncrease(b, "lia") }
+func BenchmarkIncreaseOLIA(b *testing.B)   { benchIncrease(b, "olia") }
+func BenchmarkIncreaseBalia(b *testing.B)  { benchIncrease(b, "balia") }
+func BenchmarkIncreaseECMTCP(b *testing.B) { benchIncrease(b, "ecmtcp") }
+func BenchmarkIncreaseDTS(b *testing.B)    { benchIncrease(b, "dts") }
+func BenchmarkIncreaseDTSLIA(b *testing.B) { benchIncrease(b, "dts-lia") }
+func BenchmarkIncreaseDTSTaylor(b *testing.B) {
+	benchIncrease(b, "dts-taylor")
+}
+
+func BenchmarkEpsExact(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += EpsExact(float64(i%100) / 100)
+	}
+	_ = sink
+}
+
+func BenchmarkEpsTaylor(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += EpsTaylor(int64(i % 100))
+	}
+	_ = sink
+}

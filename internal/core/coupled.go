@@ -1,0 +1,103 @@
+package core
+
+import "math"
+
+// EWTCP (Honda et al., PFLDNeT 2009) runs an equally-weighted TCP on each
+// subflow: per-ACK increase a/w_r with a = 1/√n, halve on loss. It shares
+// a bottleneck fairly with regular TCP when all subflows cross it, but does
+// not shift traffic between paths.
+type EWTCP struct{}
+
+// NewEWTCP returns an EWTCP instance.
+func NewEWTCP() *EWTCP { return &EWTCP{} }
+
+// Name implements Algorithm.
+func (*EWTCP) Name() string { return "ewtcp" }
+
+// Increase implements Algorithm.
+func (*EWTCP) Increase(flows []View, r int) float64 {
+	if flows[r].Cwnd <= 0 {
+		return 0
+	}
+	return 1 / (math.Sqrt(float64(len(flows))) * flows[r].Cwnd)
+}
+
+// Decrease implements Algorithm.
+func (*EWTCP) Decrease(flows []View, r int) float64 { return flows[r].Cwnd / 2 }
+
+// Coupled is the fully-coupled algorithm of Kelly & Voice / Han et al.:
+// per-ACK increase 1/w_total, and a loss on any path reduces the subflow by
+// half the *total* window. It pools resources aggressively but flops all
+// traffic onto the currently best path.
+type Coupled struct{}
+
+// NewCoupled returns a fully-coupled instance.
+func NewCoupled() *Coupled { return &Coupled{} }
+
+// Name implements Algorithm.
+func (*Coupled) Name() string { return "coupled" }
+
+// Increase implements Algorithm.
+func (*Coupled) Increase(flows []View, r int) float64 {
+	wTotal := SumCwnd(flows)
+	if wTotal <= 0 {
+		return 0
+	}
+	return 1 / wTotal
+}
+
+// Decrease implements Algorithm: w_r ← w_r − w_total/2 (floored by the
+// transport's minimum window).
+func (*Coupled) Decrease(flows []View, r int) float64 {
+	return flows[r].Cwnd - SumCwnd(flows)/2
+}
+
+// LIA is the Linked-Increases Algorithm of RFC 6356 (Wischik et al., NSDI
+// 2011), the MPTCP kernel default: per-ACK increase min(α/w_total, 1/w_r)
+// with α = w_total·max_k(w_k/RTT_k²)/(Σ_k w_k/RTT_k)², halve on loss.
+type LIA struct{}
+
+// NewLIA returns a LIA instance.
+func NewLIA() *LIA { return &LIA{} }
+
+// Name implements Algorithm.
+func (*LIA) Name() string { return "lia" }
+
+// Alpha returns the RFC 6356 aggressiveness parameter α for the connection.
+func (*LIA) Alpha(flows []View) float64 {
+	var maxTerm float64
+	for _, k := range flows {
+		if k.SRTT <= 0 {
+			continue
+		}
+		if t := k.Cwnd / (k.SRTT * k.SRTT); t > maxTerm {
+			maxTerm = t
+		}
+	}
+	sum := SumRates(flows)
+	if sum <= 0 {
+		return 0
+	}
+	return SumCwnd(flows) * maxTerm / (sum * sum)
+}
+
+// Increase implements Algorithm.
+func (l *LIA) Increase(flows []View, r int) float64 {
+	f := flows[r]
+	wTotal := SumCwnd(flows)
+	if f.Cwnd <= 0 || wTotal <= 0 {
+		return 0
+	}
+	coupled := l.Alpha(flows) / wTotal
+	uncoupled := 1 / f.Cwnd
+	return math.Min(coupled, uncoupled)
+}
+
+// Decrease implements Algorithm.
+func (*LIA) Decrease(flows []View, r int) float64 { return flows[r].Cwnd / 2 }
+
+var (
+	_ Algorithm = (*EWTCP)(nil)
+	_ Algorithm = (*Coupled)(nil)
+	_ Algorithm = (*LIA)(nil)
+)

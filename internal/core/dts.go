@@ -1,0 +1,211 @@
+package core
+
+import "math"
+
+// DTS is the paper's contribution: Delay-based Traffic Shifting (§V-B,
+// Algorithm 1). The traffic-shifting parameter is ψ_r = c·ε_r with
+//
+//	ε_r = 2 / (1 + e^{−10·(baseRTT_r/RTT_r − 1/2)})        (Eq. 5)
+//
+// an increasing logistic function of baseRTT_r/RTT_r: a path whose RTT is
+// inflated by queueing (ratio → 0) gets ε→0 and stops growing, while a
+// recovering low-delay path (ratio → 1) grows with ε→2. With c = 1 and
+// E[baseRTT/RTT] = 1/2, ψ satisfies the TCP-friendliness condition
+// (Condition 1) in expectation.
+//
+// Per ACK on path r (derived from Eq. 3 exactly as Algorithm 1 states):
+//
+//	w_r += c·ε_r · (w_r/RTT_r²) / (Σ_k w_k/RTT_k)²
+//
+// and each loss halves the subflow window (β = 1/2).
+
+// EpsExact evaluates Eq. 5 at ratio = baseRTT_r/RTT_r in floating point.
+func EpsExact(ratio float64) float64 {
+	if ratio < 0 {
+		ratio = 0
+	} else if ratio > 1 {
+		ratio = 1
+	}
+	return 2 / (1 + math.Exp(-10*(ratio-0.5)))
+}
+
+// EpsTaylor evaluates Eq. 5 the way Algorithm 1's kernel implementation
+// does: integer fixed-point arithmetic with a third-order Taylor expansion
+// of e^x around 0, all values scaled by 100. ratioPct is
+// 100·baseRTT_r/RTT_r. The approximation is accurate near ratio = 1/2 and
+// intentionally saturates outside (the kernel clamps negative numerators).
+func EpsTaylor(ratioPct int64) int64 {
+	if ratioPct < 0 {
+		ratioPct = 0
+	} else if ratioPct > 100 {
+		ratioPct = 100
+	}
+	// x = 10·ratio − 5, carried in tenths: p = 10·ratioPct/100 − 5 = x.
+	// numerator = 100·e^x ≈ 100 + 100x + 50x² + 17x³ (integer, x in units).
+	x := (ratioPct - 50) / 10 // integer part of x in [-5, 5]
+	frac := (ratioPct - 50) % 10
+	// Work in hundredths to keep the fractional part of x: X = 100·x.
+	X := x*100 + frac*10
+	num := 100 + X + 50*X*X/10000 + 17*X*X*X/1000000
+	if num < 0 {
+		num = 0
+	}
+	den := 100 + num
+	return 2 * 100 * num / den // ε scaled by 100
+}
+
+// DTS implements the Delay-based Traffic Shifting algorithm.
+type DTS struct {
+	// C is the Pareto-optimality constant c in ψ_r = c·ε_r. The paper picks
+	// c = 1 so the fairness condition also holds.
+	C float64
+	// Taylor, when set, evaluates ε_r with the kernel's integer
+	// approximation instead of the exact logistic (the ablation of
+	// Algorithm 1's fixed-point port).
+	Taylor bool
+}
+
+// NewDTS returns DTS with the paper's parameters (c = 1, exact ε).
+func NewDTS() *DTS { return &DTS{C: 1} }
+
+// Name implements Algorithm.
+func (d *DTS) Name() string {
+	if d.Taylor {
+		return "dts-taylor"
+	}
+	return "dts"
+}
+
+// rttRatio returns baseRTT_r/RTT_r using the latest sample, as Algorithm 1
+// does with current_rtt.
+func rttRatio(f View) float64 {
+	rtt := f.LastRTT
+	if rtt <= 0 {
+		rtt = f.SRTT
+	}
+	if rtt <= 0 || f.BaseRTT <= 0 {
+		return 1
+	}
+	r := f.BaseRTT / rtt
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// Eps returns the ε_r value DTS would use for subflow state f.
+func (d *DTS) Eps(f View) float64 {
+	ratio := rttRatio(f)
+	if d.Taylor {
+		return float64(EpsTaylor(int64(math.Round(ratio*100)))) / 100
+	}
+	return EpsExact(ratio)
+}
+
+// Increase implements Algorithm.
+func (d *DTS) Increase(flows []View, r int) float64 {
+	f := flows[r]
+	if f.SRTT <= 0 {
+		return 0
+	}
+	sum := SumRates(flows)
+	if sum <= 0 {
+		return 0
+	}
+	return d.C * d.Eps(f) * f.Cwnd / (f.SRTT * f.SRTT * sum * sum)
+}
+
+// Decrease implements Algorithm.
+func (*DTS) Decrease(flows []View, r int) float64 { return flows[r].Cwnd / 2 }
+
+var _ Algorithm = (*DTS)(nil)
+
+// DTSLIA is the "Modified LIA" variant of DTS that the paper's kernel
+// experiments plot (Fig. 8): LIA's coupled increase scaled by the Eq. 5
+// delay factor, w_r += ε_r·min(α/w_total, 1/w_r) per ACK. §V-B's ψ = c·ε
+// reading replaces LIA's ψ entirely (the DTS type above); this variant
+// instead composes ε with LIA's aggressiveness, which preserves LIA's
+// strong loss-based shifting — the property the paper highlights in
+// Fig. 7 — while ε steers traffic off delay-inflated paths. Both are
+// provided; EXPERIMENTS.md compares them.
+type DTSLIA struct {
+	lia LIA
+	dts DTS
+}
+
+// NewDTSLIA returns the Modified-LIA DTS variant.
+func NewDTSLIA() *DTSLIA { return &DTSLIA{dts: DTS{C: 1}} }
+
+// Name implements Algorithm.
+func (*DTSLIA) Name() string { return "dts-lia" }
+
+// Increase implements Algorithm.
+func (d *DTSLIA) Increase(flows []View, r int) float64 {
+	return d.dts.Eps(flows[r]) * d.lia.Increase(flows, r)
+}
+
+// Decrease implements Algorithm.
+func (d *DTSLIA) Decrease(flows []View, r int) float64 {
+	return d.lia.Decrease(flows, r)
+}
+
+var _ Algorithm = (*DTSLIA)(nil)
+
+// DefaultKappa is the default weight κ_s of the energy price in the
+// extended algorithm (Eq. 9), calibrated so the compensative term bends the
+// equilibrium without starving subflows.
+const DefaultKappa = 2e-4
+
+// DTSEP is the extended DTS of §V-C: Eq. 9 adds the compensative term
+// φ_r = κ_s·x_r²·∂U_ep/∂x_r to the DTS window evolution, where U_ep
+// (Eq. 6) prices traffic on switch-to-switch links proportionally to their
+// energy cost ρ and queue excess. Links accumulate that price on data
+// packets in transit and receivers echo it on ACKs; converted per ACK the
+// term is a decrement κ_s·w_r·price_r.
+type DTSEP struct {
+	DTS
+
+	// Kappa is the price weight κ_s.
+	Kappa float64
+}
+
+// NewDTSEP returns the extended algorithm with price weight kappa.
+func NewDTSEP(kappa float64) *DTSEP {
+	return &DTSEP{DTS: DTS{C: 1}, Kappa: kappa}
+}
+
+// Name implements Algorithm.
+func (*DTSEP) Name() string { return "dtsep" }
+
+// Increase implements Algorithm: the DTS increase minus the per-ACK
+// compensative term.
+func (d *DTSEP) Increase(flows []View, r int) float64 {
+	inc := d.DTS.Increase(flows, r)
+	return inc - d.Kappa*flows[r].Cwnd*flows[r].Price
+}
+
+var _ Algorithm = (*DTSEP)(nil)
+
+// DTSEPLIA is the extended algorithm built on the Modified-LIA variant:
+// DTSLIA's increase minus the Eq. 9 compensative term.
+type DTSEPLIA struct {
+	DTSLIA
+
+	// Kappa is the price weight κ_s.
+	Kappa float64
+}
+
+// NewDTSEPLIA returns the extended Modified-LIA variant.
+func NewDTSEPLIA(kappa float64) *DTSEPLIA {
+	return &DTSEPLIA{DTSLIA: *NewDTSLIA(), Kappa: kappa}
+}
+
+// Name implements Algorithm.
+func (*DTSEPLIA) Name() string { return "dtsep-lia" }
+
+// Increase implements Algorithm.
+func (d *DTSEPLIA) Increase(flows []View, r int) float64 {
+	return d.DTSLIA.Increase(flows, r) - d.Kappa*flows[r].Cwnd*flows[r].Price
+}
+
+var _ Algorithm = (*DTSEPLIA)(nil)

@@ -1,0 +1,106 @@
+package core
+
+// wVegas — weighted Vegas (Cao, Xu & Fu, ICNP 2012) — is the delay-based
+// algorithm of the paper's model with step size δ = 1: it adjusts each
+// subflow's window once per RTT round toward a per-path queueing backlog
+// target α_r = weight_r·totalAlpha, where the weights track each subflow's
+// share of the aggregate rate. λ_r is the delay-based path price
+// q_r = RTT_r − baseRTT_r.
+
+const (
+	wvegasTotalAlpha = 10.0 // packets of queue backlog budget, per the paper
+	wvegasGamma      = 1.0  // slow-start exit threshold (packets of backlog)
+	wvegasWeightGain = 0.5  // EWMA gain for the rate-share weights
+)
+
+// WVegas implements weighted Vegas.
+type WVegas struct {
+	weights []float64
+}
+
+// NewWVegas returns a wVegas instance.
+func NewWVegas() *WVegas { return &WVegas{} }
+
+// Name implements Algorithm.
+func (*WVegas) Name() string { return "wvegas" }
+
+// Increase implements Algorithm. wVegas does not react per ACK in
+// congestion avoidance; all adjustment happens in OnRound.
+func (*WVegas) Increase(flows []View, r int) float64 { return 0 }
+
+// Decrease implements Algorithm: packet loss still halves the window.
+func (*WVegas) Decrease(flows []View, r int) float64 { return flows[r].Cwnd / 2 }
+
+// diff returns the Vegas backlog estimate for subflow r in packets:
+// w_r·(RTT_r − baseRTT_r)/RTT_r.
+func (*WVegas) diff(f View) float64 {
+	rtt := f.LastRTT
+	if rtt <= 0 {
+		rtt = f.SRTT
+	}
+	if rtt <= 0 || f.BaseRTT <= 0 {
+		return 0
+	}
+	q := rtt - f.BaseRTT
+	if q < 0 {
+		q = 0
+	}
+	return f.Cwnd * q / rtt
+}
+
+func (v *WVegas) updateWeights(flows []View) {
+	for len(v.weights) < len(flows) {
+		v.weights = append(v.weights, 1/float64(len(flows)))
+	}
+	sum := SumRates(flows)
+	if sum <= 0 {
+		return
+	}
+	for k, f := range flows {
+		share := f.Rate() / sum
+		v.weights[k] = (1-wvegasWeightGain)*v.weights[k] + wvegasWeightGain*share
+	}
+}
+
+// OnRound implements RoundTuner: once per RTT, compare the backlog estimate
+// with the weighted target and move the window by one packet.
+func (v *WVegas) OnRound(flows []View, r int) (cwnd, ssthresh float64) {
+	v.updateWeights(flows)
+	f := flows[r]
+	cwnd, ssthresh = f.Cwnd, f.SSThresh
+
+	d := v.diff(f)
+	if f.InSlowStart {
+		// Leave slow start as soon as queueing builds up.
+		if d > wvegasGamma {
+			ssthresh = f.Cwnd
+			cwnd = f.Cwnd / 2
+			if cwnd < 2 {
+				cwnd = 2
+			}
+		}
+		return cwnd, ssthresh
+	}
+
+	alpha := v.weights[r] * wvegasTotalAlpha
+	switch {
+	case d < alpha:
+		cwnd = f.Cwnd + 1
+	case d > alpha:
+		cwnd = f.Cwnd - 1
+		if cwnd < 2 {
+			cwnd = 2
+		}
+	}
+	// Keep ssthresh below cwnd so the transport stays in congestion
+	// avoidance; Vegas-style control owns the window from here on.
+	if ssthresh > cwnd {
+		ssthresh = cwnd
+	}
+	return cwnd, ssthresh
+}
+
+var (
+	_ Algorithm  = (*WVegas)(nil)
+	_ RoundTuner = (*WVegas)(nil)
+)

@@ -1,0 +1,224 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/trace"
+)
+
+func TestCPUModelFig3aShape(t *testing.T) {
+	// Fig. 3a: from 200 Mb/s to 1 Gb/s the package power rises by roughly
+	// 15% — flat, sub-linear growth. The testbed is a LAN, so sub-ms RTTs.
+	m := NewI7()
+	low := m.Power(Sample{ThroughputBps: 200e6, Subflows: 2, MeanRTTSeconds: 0.0005})
+	high := m.Power(Sample{ThroughputBps: 1000e6, Subflows: 2, MeanRTTSeconds: 0.0005})
+	rise := (high - low) / low
+	if rise < 0.10 || rise > 0.30 {
+		t.Errorf("power rise 200M->1G = %.0f%%, want ~15-20%%", rise*100)
+	}
+}
+
+func TestCPUModelFig1SubflowCost(t *testing.T) {
+	// Fig. 1: power increases with the number of subflows; MPTCP (2+) above
+	// TCP (1).
+	m := NewI7()
+	prev := 0.0
+	for n := 1; n <= 8; n++ {
+		p := m.Power(Sample{ThroughputBps: 100e6, Subflows: n, MeanRTTSeconds: 0.02})
+		if p <= prev {
+			t.Fatalf("power with %d subflows (%.2f W) not above %d subflows (%.2f W)",
+				n, p, n-1, prev)
+		}
+		prev = p
+	}
+}
+
+func TestCPUModelFig4RTTCost(t *testing.T) {
+	// Fig. 4: at equal throughput, the high-RTT path costs more power.
+	m := NewI7()
+	low := m.Power(Sample{ThroughputBps: 100e6, Subflows: 2, MeanRTTSeconds: 0.02})
+	high := m.Power(Sample{ThroughputBps: 100e6, Subflows: 2, MeanRTTSeconds: 0.1})
+	if high <= low {
+		t.Errorf("high-RTT power %.2f W <= low-RTT power %.2f W", high, low)
+	}
+}
+
+func TestWiFiModelFig3bShape(t *testing.T) {
+	// Fig. 3b: 10 -> 50 Mb/s raises WiFi power by ~90%.
+	m := NewWiFi()
+	low := m.Power(Sample{ThroughputBps: 10e6})
+	high := m.Power(Sample{ThroughputBps: 50e6})
+	rise := (high - low) / low
+	if rise < 0.7 || rise > 1.1 {
+		t.Errorf("WiFi power rise 10->50 Mb/s = %.0f%%, want ~90%%", rise*100)
+	}
+}
+
+func TestLTEBaseDominates(t *testing.T) {
+	// Huang et al.: the LTE radio's connected-state base power dwarfs the
+	// per-bit cost at tens of Mb/s, and idle is far below active.
+	m := NewLTE()
+	idle := m.Power(Sample{})
+	active := m.Power(Sample{ThroughputBps: 1e6})
+	if active < 20*idle {
+		t.Errorf("active LTE %.2f W not >> idle %.3f W", active, idle)
+	}
+	at20 := m.Power(Sample{ThroughputBps: 20e6})
+	if at20 > 2*active {
+		t.Errorf("LTE slope too steep: %.2f W at 20 Mb/s vs %.2f W at 1 Mb/s", at20, active)
+	}
+}
+
+func TestNexusComposite(t *testing.T) {
+	m := NewNexus()
+	idle := m.PowerSplit(Sample{}, Sample{})
+	wifiOnly := m.PowerSplit(Sample{ThroughputBps: 20e6}, Sample{})
+	both := m.PowerSplit(Sample{ThroughputBps: 20e6}, Sample{ThroughputBps: 20e6})
+	if !(idle < wifiOnly && wifiOnly < both) {
+		t.Errorf("want idle < wifi-only < wifi+lte, got %.2f, %.2f, %.2f", idle, wifiOnly, both)
+	}
+	// Fig. 2's headline: MPTCP (both radios) costs much more than WiFi TCP.
+	if both < wifiOnly+1 {
+		t.Errorf("adding the LTE radio gained only %.2f W; expected > 1 W", both-wifiOnly)
+	}
+}
+
+func TestPowerMonotoneInThroughputProperty(t *testing.T) {
+	models := []Model{NewI7(), NewXeon(), NewWiFi(), NewLTE()}
+	f := func(a, b uint32, flows uint8) bool {
+		t1, t2 := float64(a%1000)*1e6, float64(b%1000)*1e6
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		n := int(flows%8) + 1
+		for _, m := range models {
+			p1 := m.Power(Sample{ThroughputBps: t1, Subflows: n, MeanRTTSeconds: 0.05})
+			p2 := m.Power(Sample{ThroughputBps: t2, Subflows: n, MeanRTTSeconds: 0.05})
+			if p1 > p2+1e-9 {
+				return false
+			}
+			if p1 <= 0 || p2 <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeterIntegratesConstantPower(t *testing.T) {
+	eng := sim.NewEngine(1)
+	probe := func(sim.Time) Sample { return Sample{} }
+	m := NewMeter(eng, Constant(7), probe, 10*sim.Millisecond)
+	m.Start()
+	eng.Run(2 * sim.Second)
+	if math.Abs(m.Joules()-14) > 0.2 {
+		t.Errorf("Joules = %.3f, want 7 W * 2 s = 14 J", m.Joules())
+	}
+	if math.Abs(m.MeanPower()-7) > 0.1 {
+		t.Errorf("MeanPower = %.3f, want 7 W", m.MeanPower())
+	}
+}
+
+func TestMeterStop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, Constant(1), func(sim.Time) Sample { return Sample{} }, 10*sim.Millisecond)
+	m.Start()
+	eng.At(sim.Second, m.Stop)
+	eng.Run(5 * sim.Second)
+	if math.Abs(m.Joules()-1) > 0.05 {
+		t.Errorf("Joules = %.3f after Stop at 1 s, want ~1", m.Joules())
+	}
+	if eng.Pending() > 1 {
+		t.Errorf("meter left %d events pending after Stop", eng.Pending())
+	}
+}
+
+func TestMeterTrace(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, Constant(3), func(sim.Time) Sample { return Sample{} }, 100*sim.Millisecond)
+	m.Trace = &trace.Series{Name: "power"}
+	m.Start()
+	eng.Run(sim.Second)
+	if m.Trace.Len() != 10 {
+		t.Errorf("trace has %d samples over 1 s at 100 ms, want 10", m.Trace.Len())
+	}
+	if m.Trace.Mean() != 3 {
+		t.Errorf("trace mean %.2f, want 3", m.Trace.Mean())
+	}
+}
+
+func TestConnProbeMeasuresGoodput(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mk := func(name string) *netem.Path {
+		fwd := netem.NewLink(eng, netem.LinkConfig{Name: name, Rate: 10 * netem.Mbps, Delay: 5 * sim.Millisecond})
+		rev := netem.NewLink(eng, netem.LinkConfig{Name: name + "r", Rate: 10 * netem.Mbps, Delay: 5 * sim.Millisecond})
+		return &netem.Path{Name: name, Forward: []*netem.Link{fwd}, Reverse: []*netem.Link{rev}}
+	}
+	c := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia"}, 1, mk("a"), mk("b"))
+	probe := ConnProbe(c)
+	c.Start()
+
+	var mid Sample
+	eng.At(5*sim.Second, func() { mid = probe(5 * sim.Second) })
+	eng.Run(5 * sim.Second)
+
+	if mid.Subflows != 2 {
+		t.Errorf("probe saw %d subflows, want 2", mid.Subflows)
+	}
+	if mid.ThroughputBps < 0.7*20e6 || mid.ThroughputBps > 20e6 {
+		t.Errorf("probe throughput %.1f Mb/s, want near 20", mid.ThroughputBps/1e6)
+	}
+	if mid.MeanRTTSeconds <= 0 {
+		t.Error("probe RTT not positive")
+	}
+}
+
+func TestConnProbeDropsCompletedConns(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fwd := netem.NewLink(eng, netem.LinkConfig{Name: "f", Rate: 10 * netem.Mbps, Delay: sim.Millisecond})
+	rev := netem.NewLink(eng, netem.LinkConfig{Name: "r", Rate: 10 * netem.Mbps, Delay: sim.Millisecond})
+	p := &netem.Path{Name: "p", Forward: []*netem.Link{fwd}, Reverse: []*netem.Link{rev}}
+	c := mptcp.MustNew(eng, mptcp.Config{Algorithm: "reno", TransferBytes: 100 << 10}, 1, p)
+	probe := ConnProbe(c)
+	c.Start()
+	eng.Run(30 * sim.Second)
+	if !c.Done() {
+		t.Fatal("transfer did not complete")
+	}
+	s := probe(sim.Second)
+	if s.Subflows != 0 {
+		t.Errorf("completed connection still reports %d subflows", s.Subflows)
+	}
+}
+
+func TestPerGigabit(t *testing.T) {
+	if got := PerGigabit(50, 125e6); math.Abs(got-50) > 1e-9 { // 1 Gb delivered
+		t.Errorf("PerGigabit = %v, want 50", got)
+	}
+	if PerGigabit(50, 0) != 0 {
+		t.Error("PerGigabit with zero bytes should be 0")
+	}
+}
+
+func TestEnergyFallsWithThroughputForFixedTransfer(t *testing.T) {
+	// The central observation behind Eq. 2 and Fig. 3a: for a fixed amount
+	// of data on a wired host, higher throughput means less total energy,
+	// because power is nearly flat in throughput while time shrinks.
+	m := NewI7()
+	transferBits := 8e9 // 1 GB
+	energyAt := func(tput float64) float64 {
+		p := m.Power(Sample{ThroughputBps: tput, Subflows: 2, MeanRTTSeconds: 0.02})
+		return p * transferBits / tput
+	}
+	if e200, e1000 := energyAt(200e6), energyAt(1000e6); e1000 >= e200 {
+		t.Errorf("energy at 1 Gb/s (%.0f J) not below energy at 200 Mb/s (%.0f J)", e1000, e200)
+	}
+}

@@ -1,0 +1,136 @@
+package energy
+
+import (
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/tcp"
+	"mptcpsim/internal/trace"
+)
+
+// DefaultInterval is the power sampling period (10 ms of simulated time,
+// matching RAPL-style polling).
+const DefaultInterval = 10 * sim.Millisecond
+
+// Probe produces the instantaneous Sample a Meter feeds its power model.
+// The probe's window is the meter's sampling interval.
+type Probe func(window sim.Time) Sample
+
+// Meter integrates a power model over simulated time: every interval it
+// probes the host's activity, evaluates the model and accumulates
+// P·Δt joules, optionally recording the power time series.
+type Meter struct {
+	eng      *sim.Engine
+	model    Model
+	probe    Probe
+	interval sim.Time
+
+	joules   float64
+	lastTick sim.Time
+	stopped  bool
+	tickFn   func()
+
+	// Trace, when set before Start, receives (time, watts) samples.
+	Trace *trace.Series
+}
+
+// NewMeter creates a meter; interval 0 takes DefaultInterval.
+func NewMeter(eng *sim.Engine, model Model, probe Probe, interval sim.Time) *Meter {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	m := &Meter{eng: eng, model: model, probe: probe, interval: interval}
+	m.tickFn = m.tick
+	return m
+}
+
+// Start begins periodic sampling. The meter reschedules itself until Stop
+// is called or the engine's horizon cuts it off.
+func (m *Meter) Start() {
+	m.lastTick = m.eng.Now()
+	m.eng.ScheduleAfter(m.interval, m.tickFn)
+}
+
+// Stop halts sampling after the current interval.
+func (m *Meter) Stop() { m.stopped = true }
+
+func (m *Meter) tick() {
+	if m.stopped {
+		return
+	}
+	now := m.eng.Now()
+	dt := now - m.lastTick
+	m.lastTick = now
+	watts := m.model.Power(m.probe(dt))
+	m.joules += watts * dt.Seconds()
+	if m.Trace != nil {
+		m.Trace.Add(now, watts)
+	}
+	m.eng.ScheduleAfter(m.interval, m.tickFn)
+}
+
+// Joules returns the energy integrated so far.
+func (m *Meter) Joules() float64 { return m.joules }
+
+// MeanPower returns the average power over the metered span so far.
+func (m *Meter) MeanPower() float64 {
+	elapsed := m.eng.Now()
+	if elapsed <= 0 {
+		return 0
+	}
+	return m.joules / elapsed.Seconds()
+}
+
+// ConnProbe builds a Probe over a set of connections terminating at one
+// host: throughput is the sum of their goodput over the window; RTT is the
+// traffic-weighted mean across subflows, matching Eq. 2's per-path form
+// Σ_r P_r(τ_r, RTT_r) — a path only contributes its delay in proportion to
+// the traffic it carries. Completed connections stop contributing.
+func ConnProbe(conns ...*mptcp.Conn) Probe {
+	var lastBytes uint64
+	lastAcked := make(map[*tcp.Subflow]int64)
+	return func(window sim.Time) Sample {
+		var total uint64
+		var subflows int
+		var rttWeighted, weight, rttPlain float64
+		for _, c := range conns {
+			total += c.AckedBytes()
+			if c.Done() {
+				continue
+			}
+			for _, s := range c.Subflows() {
+				subflows++
+				rtt := s.SRTT().Seconds()
+				rttPlain += rtt
+				acked := s.Acked()
+				d := float64(acked - lastAcked[s])
+				lastAcked[s] = acked
+				rttWeighted += d * rtt
+				weight += d
+			}
+		}
+		delta := total - lastBytes
+		lastBytes = total
+		smp := Sample{Subflows: subflows}
+		if window > 0 {
+			smp.ThroughputBps = float64(delta) * 8 / window.Seconds()
+		}
+		switch {
+		case weight > 0:
+			smp.MeanRTTSeconds = rttWeighted / weight
+		case subflows > 0:
+			smp.MeanRTTSeconds = rttPlain / float64(subflows)
+		}
+		return smp
+	}
+}
+
+// PerGigabit converts joules and delivered bytes into the energy-overhead
+// metric of Figs. 12-15: joules per gigabit of goodput. It returns 0 when
+// nothing was delivered.
+func PerGigabit(joules float64, bytes uint64) float64 {
+	gbits := float64(bytes) * 8 / 1e9
+	if gbits <= 0 {
+		return 0
+	}
+	return joules / gbits
+}

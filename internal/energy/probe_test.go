@@ -1,0 +1,61 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+)
+
+// The Eq. 2 per-path form: a connection splitting traffic unevenly across
+// a short and a long path must report a traffic-weighted RTT closer to
+// the path that carries more.
+func TestConnProbeTrafficWeightedRTT(t *testing.T) {
+	eng := sim.NewEngine(1)
+	mk := func(name string, rate int64, delay sim.Time) *netem.Path {
+		fwd := netem.NewLink(eng, netem.LinkConfig{Name: name, Rate: rate, Delay: delay, QueueLimit: 200})
+		rev := netem.NewLink(eng, netem.LinkConfig{Name: name + "r", Rate: rate, Delay: delay, QueueLimit: 200})
+		return &netem.Path{Name: name, Forward: []*netem.Link{fwd}, Reverse: []*netem.Link{rev}}
+	}
+	// Fast path carries ~5x the traffic of the slow one.
+	fast := mk("fast", 50*netem.Mbps, 5*sim.Millisecond)
+	slow := mk("slow", 10*netem.Mbps, 60*sim.Millisecond)
+	c := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia"}, 1, fast, slow)
+	probe := ConnProbe(c)
+	c.Start()
+
+	var weighted float64
+	eng.At(20*sim.Second, func() { weighted = probe(20 * sim.Second).MeanRTTSeconds })
+	eng.Run(20 * sim.Second)
+
+	s0 := c.Subflows()[0].SRTT().Seconds()
+	s1 := c.Subflows()[1].SRTT().Seconds()
+	plain := (s0 + s1) / 2
+	if weighted >= plain {
+		t.Errorf("traffic-weighted RTT %.1fms not below unweighted mean %.1fms (fast %.1f, slow %.1f)",
+			weighted*1000, plain*1000, s0*1000, s1*1000)
+	}
+	if weighted < s0 || weighted > s1 {
+		t.Errorf("weighted RTT %.1fms outside [fast %.1f, slow %.1f]",
+			weighted*1000, s0*1000, s1*1000)
+	}
+}
+
+func TestMeterDefaultInterval(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, Constant(2), func(sim.Time) Sample { return Sample{} }, 0)
+	m.Start()
+	eng.Run(sim.Second)
+	if math.Abs(m.Joules()-2) > 0.05 {
+		t.Errorf("Joules = %v over 1s at 2W with default interval, want ~2", m.Joules())
+	}
+}
+
+func TestXeonAboveI7(t *testing.T) {
+	s := Sample{ThroughputBps: 100e6, Subflows: 2, MeanRTTSeconds: 0.01}
+	if NewXeon().Power(s) <= NewI7().Power(s) {
+		t.Error("Xeon server power not above the desktop i7")
+	}
+}

@@ -1,0 +1,198 @@
+// Package exp reproduces the paper's evaluation: one runner per figure,
+// each building its scenario from the substrate packages, running it on
+// the simulator and reporting the same rows/series the paper plots.
+//
+// Runners accept a Scale knob so the test suite and benchmarks can run
+// reduced versions (fewer users, shorter horizons) while cmd/mptcp-bench
+// -full reproduces the published parameters. Absolute joules depend on the
+// calibrated power models; the comparisons — which algorithm wins and by
+// roughly what factor — are the reproduction target (see EXPERIMENTS.md).
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mptcpsim/internal/energy"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/sim"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives every random choice; equal seeds reproduce runs exactly.
+	Seed int64
+	// Scale in (0, 1] shrinks user counts, transfer sizes and horizons;
+	// 1.0 is the published configuration.
+	Scale float64
+	// Reps overrides the repetition count where the paper averages
+	// several runs (0 keeps the experiment's scaled default).
+	Reps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 || c.Scale > 1 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// scaled returns n scaled down, never below min.
+func (c Config) scaled(n int, min int) int {
+	v := int(float64(n) * c.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// scaledTime shrinks a duration, never below min.
+func (c Config) scaledTime(d, min sim.Time) sim.Time {
+	v := sim.Time(float64(d) * c.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// scaledBytes shrinks a transfer size, never below min.
+func (c Config) scaledBytes(b, min int64) int64 {
+	v := int64(float64(b) * c.Scale)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// reps returns the repetition count.
+func (c Config) reps(def int) int {
+	if c.Reps > 0 {
+		return c.Reps
+	}
+	r := int(float64(def) * c.Scale)
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Result is a rendered experiment outcome.
+type Result struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries the paper's expected qualitative outcome and any scale
+	// substitutions, for EXPERIMENTS.md.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// String renders an aligned text table.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Experiment couples a figure ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) *Result
+}
+
+var experiments = []Experiment{
+	{ID: "fig1", Title: "CPU power vs number of subflows (TCP vs MPTCP)", Run: Fig1},
+	{ID: "fig2", Title: "Nexus 5 power in data transfers (TCP vs MPTCP)", Run: Fig2},
+	{ID: "fig3a", Title: "Energy & power vs throughput, wired Ethernet", Run: Fig3a},
+	{ID: "fig3b", Title: "Energy & power vs throughput, WiFi", Run: Fig3b},
+	{ID: "fig4", Title: "CPU power vs path delay", Run: Fig4},
+	{ID: "fig6", Title: "Energy of LIA/OLIA/Balia/ecMTCP with N users (box)", Run: Fig6},
+	{ID: "fig7", Title: "Traffic shifting under bursty cross traffic", Run: Fig7},
+	{ID: "fig8", Title: "Trace of LIA vs modified LIA (DTS)", Run: Fig8},
+	{ID: "fig9", Title: "DTS energy saving vs LIA", Run: Fig9},
+	{ID: "fig10", Title: "EC2 VPC: TCP vs DCTCP vs LIA vs DTS", Run: Fig10},
+	{ID: "fig12", Title: "Energy overhead of LIA vs subflows, BCube", Run: Fig12},
+	{ID: "fig13", Title: "Energy overhead of LIA vs subflows, FatTree", Run: Fig13},
+	{ID: "fig14", Title: "Energy overhead of LIA vs subflows, VL2", Run: Fig14},
+	{ID: "fig15", Title: "Extended DTS energy saving in FatTree/VL2", Run: Fig15},
+	{ID: "fig16", Title: "Aggregated throughput of DTS vs LIA in FatTree/VL2", Run: Fig16},
+	{ID: "fig17", Title: "Heterogeneous wireless: DTS/DTS-EP vs LIA", Run: Fig17},
+	{ID: "abl-c", Title: "Ablation: DTS constant c", Run: AblationC},
+	{ID: "abl-kappa", Title: "Ablation: Eq. 9 price weight kappa", Run: AblationKappa},
+	{ID: "abl-hystart", Title: "Ablation: slow-start delay guard", Run: AblationHystart},
+	{ID: "abl-pathsel", Title: "Ablation: congestion control vs path selection", Run: AblationPathsel},
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// All returns the experiments in figure order.
+func All() []Experiment {
+	out := make([]Experiment, len(experiments))
+	copy(out, experiments)
+	return out
+}
+
+// IDs returns the sorted experiment IDs.
+func IDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for _, e := range experiments {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// meterFor attaches an energy meter with the given model to a set of
+// connections and starts it.
+func meterFor(eng *sim.Engine, model energy.Model, conns ...*mptcp.Conn) *energy.Meter {
+	m := energy.NewMeter(eng, model, energy.ConnProbe(conns...), 0)
+	m.Start()
+	return m
+}
+
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

@@ -1,0 +1,366 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny is the configuration the test suite uses: small fan-outs, short
+// horizons, single repetitions.
+var tiny = Config{Seed: 1, Scale: 0.05, Reps: 1}
+
+// cell parses a numeric table cell.
+func cell(t *testing.T, res *Result, row int, col string) float64 {
+	t.Helper()
+	idx := -1
+	for i, c := range res.Columns {
+		if c == col {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("%s: no column %q in %v", res.ID, col, res.Columns)
+	}
+	if row >= len(res.Rows) {
+		t.Fatalf("%s: row %d out of %d", res.ID, row, len(res.Rows))
+	}
+	v, err := strconv.ParseFloat(res.Rows[row][idx], 64)
+	if err != nil {
+		t.Fatalf("%s: cell %d/%s = %q is not numeric", res.ID, row, col, res.Rows[row][idx])
+	}
+	return v
+}
+
+// findRow locates the first row whose cells start with the given prefix
+// values.
+func findRow(t *testing.T, res *Result, prefix ...string) int {
+	t.Helper()
+	for i, row := range res.Rows {
+		ok := true
+		for j, p := range prefix {
+			if j >= len(row) || row[j] != p {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	t.Fatalf("%s: no row with prefix %v", res.ID, prefix)
+	return -1
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if got := len(All()); got != 20 {
+		t.Errorf("registered %d experiments, want 16 figures + 4 ablations", got)
+	}
+	for _, id := range IDs() {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%q) failed for listed ID", id)
+		}
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Error("Lookup of unknown ID succeeded")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	res := &Result{ID: "x", Title: "t", Columns: []string{"a", "bb"}}
+	res.AddRow("1", "2")
+	out := res.String()
+	if !strings.Contains(out, "== x: t ==") || !strings.Contains(out, "bb") {
+		t.Errorf("rendered table missing pieces:\n%s", out)
+	}
+}
+
+func TestFig1PowerGrowsWithSubflows(t *testing.T) {
+	res := Fig1(tiny)
+	if len(res.Rows) != 5 {
+		t.Fatalf("fig1 has %d rows, want 5", len(res.Rows))
+	}
+	tcp := cell(t, res, 0, "power_w")
+	first := cell(t, res, 1, "power_w")
+	last := cell(t, res, len(res.Rows)-1, "power_w")
+	if tcp >= first {
+		t.Errorf("TCP power %.2f W not below MPTCP's %.2f W", tcp, first)
+	}
+	if last <= first {
+		t.Errorf("power with 8 subflows (%.2f W) not above 2 subflows (%.2f W)", last, first)
+	}
+}
+
+func TestFig2MPTCPCostsMoreOnHandset(t *testing.T) {
+	res := Fig2(tiny)
+	wifi := cell(t, res, findRow(t, res, "tcp-wifi"), "power_w")
+	lte := cell(t, res, findRow(t, res, "tcp-lte"), "power_w")
+	both := cell(t, res, findRow(t, res, "mptcp-wifi+lte"), "power_w")
+	if both <= wifi || both <= lte {
+		t.Errorf("MPTCP power %.2f W not above TCP-WiFi %.2f W and TCP-LTE %.2f W", both, wifi, lte)
+	}
+}
+
+func TestFig3aEnergyFallsPowerFlat(t *testing.T) {
+	res := Fig3a(tiny)
+	e200 := cell(t, res, 0, "energy_j")
+	e1000 := cell(t, res, len(res.Rows)-1, "energy_j")
+	if e1000 >= e200 {
+		t.Errorf("wired energy at 1 Gb/s (%.0f J) not below 200 Mb/s (%.0f J)", e1000, e200)
+	}
+	p200 := cell(t, res, 0, "power_w")
+	p1000 := cell(t, res, len(res.Rows)-1, "power_w")
+	rise := (p1000 - p200) / p200
+	if rise < 0.05 || rise > 0.35 {
+		t.Errorf("wired power rise %.0f%%, want gentle (~15%%)", rise*100)
+	}
+}
+
+func TestFig3bPowerRisesSharply(t *testing.T) {
+	res := Fig3b(tiny)
+	p10 := cell(t, res, 0, "power_w")
+	p50 := cell(t, res, len(res.Rows)-1, "power_w")
+	rise := (p50 - p10) / p10
+	if rise < 0.5 {
+		t.Errorf("WiFi power rise %.0f%%, want sharp (~90%%)", rise*100)
+	}
+	e10 := cell(t, res, 0, "energy_j")
+	e50 := cell(t, res, len(res.Rows)-1, "energy_j")
+	if e50 >= e10 {
+		t.Errorf("WiFi energy at 50 Mb/s (%.0f J) not below 10 Mb/s (%.0f J)", e50, e10)
+	}
+}
+
+func TestFig4PowerGrowsWithRTT(t *testing.T) {
+	res := Fig4(tiny)
+	rtt1 := cell(t, res, 0, "mean_rtt_ms")
+	rtt3 := cell(t, res, len(res.Rows)-1, "mean_rtt_ms")
+	if rtt3 <= rtt1 {
+		t.Errorf("measured RTT on high-delay paths (%.1f ms) not above low-delay (%.1f ms)", rtt3, rtt1)
+	}
+	p1 := cell(t, res, 0, "power_w")
+	p3 := cell(t, res, len(res.Rows)-1, "power_w")
+	if p3 <= p1 {
+		t.Errorf("power on high-delay paths (%.2f W) not above low-delay (%.2f W)", p3, p1)
+	}
+	// Throughput is bottleneck-pinned: roughly equal across configs.
+	t1 := cell(t, res, 0, "throughput_mbps")
+	t3 := cell(t, res, len(res.Rows)-1, "throughput_mbps")
+	if t3 < 0.8*t1 || t3 > 1.2*t1 {
+		t.Errorf("throughput changed %.1f -> %.1f Mb/s; Fig. 4 holds it fixed", t1, t3)
+	}
+}
+
+func TestFig6BoxesOrdered(t *testing.T) {
+	res := Fig6(tiny)
+	if len(res.Rows) != 4*4 {
+		t.Fatalf("fig6 has %d rows, want 16", len(res.Rows))
+	}
+	for i := range res.Rows {
+		min := cell(t, res, i, "min_j")
+		q1 := cell(t, res, i, "q1_j")
+		med := cell(t, res, i, "median_j")
+		q3 := cell(t, res, i, "q3_j")
+		max := cell(t, res, i, "max_j")
+		if !(min <= q1 && q1 <= med && med <= q3 && q3 <= max) {
+			t.Errorf("row %v: box out of order", res.Rows[i])
+		}
+		if med <= 0 {
+			t.Errorf("row %v: non-positive median energy", res.Rows[i])
+		}
+	}
+}
+
+func TestFig7AllAlgorithmsProduceRows(t *testing.T) {
+	res := Fig7(tiny)
+	if len(res.Rows) != len(fig7Algorithms) {
+		t.Fatalf("fig7 has %d rows, want %d", len(res.Rows), len(fig7Algorithms))
+	}
+	for i := range res.Rows {
+		if tput := cell(t, res, i, "throughput_mbps"); tput <= 0 {
+			t.Errorf("%s: zero throughput", res.Rows[i][0])
+		}
+		if j := cell(t, res, i, "j_per_gbit"); j <= 0 {
+			t.Errorf("%s: zero energy", res.Rows[i][0])
+		}
+	}
+}
+
+func TestFig8TraceShape(t *testing.T) {
+	res := Fig8(tiny)
+	if len(res.Rows) != 20 {
+		t.Fatalf("fig8 has %d rows, want 2 algs x 10 samples", len(res.Rows))
+	}
+	// Cumulative energy must be non-decreasing within each algorithm.
+	var prev float64
+	for i, row := range res.Rows {
+		if row[0] == "lia" && i > 0 && res.Rows[i-1][0] == "lia" {
+			if e := cell(t, res, i, "energy_j"); e < prev {
+				t.Errorf("cumulative energy decreased at row %d", i)
+			}
+		}
+		prev = cell(t, res, i, "energy_j")
+	}
+}
+
+func TestFig9DTSSavesEnergy(t *testing.T) {
+	res := Fig9(Config{Seed: 1, Scale: 0.3, Reps: 3})
+	liaRow := findRow(t, res, "lia")
+	if s := cell(t, res, liaRow, "saving_vs_lia_pct"); s != 0 {
+		t.Errorf("LIA's saving vs itself = %v, want 0", s)
+	}
+	// The kernel variant (Modified LIA, Fig. 8) is the one the paper's
+	// testbed numbers come from: it must save energy without degrading
+	// throughput.
+	saving := cell(t, res, findRow(t, res, "dts-lia"), "saving_vs_lia_pct")
+	if saving <= 0 {
+		t.Errorf("Modified LIA uses %.1f%% MORE energy per gigabit than LIA; paper expects savings", -saving)
+	}
+	liaTput := cell(t, res, liaRow, "throughput_mbps")
+	dtsTput := cell(t, res, findRow(t, res, "dts-lia"), "throughput_mbps")
+	if dtsTput < 0.9*liaTput {
+		t.Errorf("Modified LIA throughput %.1f well below LIA's %.1f; paper says no degradation", dtsTput, liaTput)
+	}
+	// The Taylor kernel port should land close to the exact psi=c*eps DTS.
+	tay := cell(t, res, findRow(t, res, "dts-taylor"), "j_per_gbit")
+	exact := cell(t, res, findRow(t, res, "dts"), "j_per_gbit")
+	if tay < 0.8*exact || tay > 1.2*exact {
+		t.Errorf("Taylor DTS %.1f J/Gb far from exact %.1f J/Gb", tay, exact)
+	}
+}
+
+func TestFig10MultipathSavesEnergy(t *testing.T) {
+	res := Fig10(tiny)
+	reno := cell(t, res, findRow(t, res, "reno"), "aggregate_j")
+	lia := cell(t, res, findRow(t, res, "lia"), "aggregate_j")
+	dts := cell(t, res, findRow(t, res, "dts-lia"), "aggregate_j")
+	if lia >= reno || dts >= reno {
+		t.Errorf("multipath energy (lia %.0f, dts %.0f J) not below TCP's %.0f J", lia, dts, reno)
+	}
+	// The headline: big savings from 4x the interfaces.
+	if saving := cell(t, res, findRow(t, res, "lia"), "saving_vs_tcp_pct"); saving < 30 {
+		t.Errorf("LIA saves only %.0f%% vs TCP; paper reports up to ~70%%", saving)
+	}
+	// DTS ~ LIA in this scenario.
+	if dts > 1.4*lia || lia > 1.4*dts {
+		t.Errorf("DTS (%.0f J) and LIA (%.0f J) should be similar on EC2", dts, lia)
+	}
+}
+
+func TestFig12BCubeOverheadDecreases(t *testing.T) {
+	// BCube's multi-NIC gain needs a cube with 3 NICs per host; scale 0.3
+	// builds BCube(3,2) (27 hosts) rather than the minimal (3,1).
+	res := Fig12(Config{Seed: 1, Scale: 0.3, Reps: 1})
+	one := cell(t, res, findRow(t, res, "1"), "j_per_gbit")
+	eight := cell(t, res, findRow(t, res, "8"), "j_per_gbit")
+	if eight >= one {
+		t.Errorf("BCube energy overhead with 8 subflows (%.1f) not below 1 subflow (%.1f)", eight, one)
+	}
+}
+
+func TestFig13FatTreeNoBigSaving(t *testing.T) {
+	res := Fig13(tiny)
+	one := cell(t, res, findRow(t, res, "1"), "j_per_gbit")
+	eight := cell(t, res, findRow(t, res, "8"), "j_per_gbit")
+	// "Fails to save energy": overhead does not drop much (allow 15% noise).
+	if eight < 0.85*one {
+		t.Errorf("FatTree overhead dropped %.1f -> %.1f with subflows; paper says no saving", one, eight)
+	}
+}
+
+func TestFig14VL2NoBigSaving(t *testing.T) {
+	res := Fig14(tiny)
+	one := cell(t, res, findRow(t, res, "1"), "j_per_gbit")
+	eight := cell(t, res, findRow(t, res, "8"), "j_per_gbit")
+	if eight < 0.85*one {
+		t.Errorf("VL2 overhead dropped %.1f -> %.1f with subflows; paper says no saving", one, eight)
+	}
+}
+
+func TestFig15ExtendedDTSSaves(t *testing.T) {
+	res := Fig15(tiny)
+	for _, kind := range []string{"fattree", "vl2"} {
+		saving := cell(t, res, findRow(t, res, kind, "dtsep-lia"), "saving_vs_lia_pct")
+		if saving <= -10 {
+			t.Errorf("%s: extended DTS uses %.0f%% MORE energy than LIA", kind, -saving)
+		}
+	}
+}
+
+func TestFig16ThroughputComparable(t *testing.T) {
+	res := Fig16(tiny)
+	for _, kind := range []string{"fattree", "vl2"} {
+		diff := cell(t, res, findRow(t, res, kind, "dts-lia"), "vs_lia_pct")
+		if diff < -30 {
+			t.Errorf("%s: DTS throughput %.0f%% below LIA; paper says comparable", kind, diff)
+		}
+	}
+}
+
+func TestAblationCRows(t *testing.T) {
+	res := AblationC(tiny)
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	// Condition 1 holds for c <= 1 at the design-point ratio and fails
+	// beyond it.
+	if res.Rows[1][3] != "true" {
+		t.Errorf("c=1 should satisfy Condition 1: %v", res.Rows[1])
+	}
+	if res.Rows[3][3] != "false" {
+		t.Errorf("c=2 should violate Condition 1: %v", res.Rows[3])
+	}
+	// Throughput grows with c (aggressiveness knob).
+	lo := cell(t, res, 0, "throughput_mbps")
+	hi := cell(t, res, 3, "throughput_mbps")
+	if hi <= lo {
+		t.Errorf("throughput at c=2 (%.1f) not above c=0.5 (%.1f)", hi, lo)
+	}
+}
+
+func TestAblationKappaTradeoff(t *testing.T) {
+	res := AblationKappa(tiny)
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	// More price weight -> smaller share on the priced path (the tradeoff
+	// direction the compensative term controls).
+	free := cell(t, res, 0, "priced_path_share")
+	harsh := cell(t, res, len(res.Rows)-1, "priced_path_share")
+	if harsh >= free {
+		t.Errorf("priced-path share at kappa=2e-3 (%.3f) not below kappa=0's (%.3f)", harsh, free)
+	}
+}
+
+func TestAblationHystartReducesLoss(t *testing.T) {
+	res := AblationHystart(tiny)
+	on := cell(t, res, findRow(t, res, "true"), "rtx")
+	off := cell(t, res, findRow(t, res, "false"), "rtx")
+	if off <= on {
+		t.Errorf("retransmissions without guard (%.0f) not above guarded (%.0f)", off, on)
+	}
+}
+
+func TestAblationPathselTradeoff(t *testing.T) {
+	res := AblationPathsel(tiny)
+	liaT := cell(t, res, findRow(t, res, "lia"), "throughput_mbps")
+	selT := cell(t, res, findRow(t, res, "lia+selector"), "throughput_mbps")
+	liaP := cell(t, res, findRow(t, res, "lia"), "mean_power_w")
+	selP := cell(t, res, findRow(t, res, "lia+selector"), "mean_power_w")
+	if selT >= liaT {
+		t.Errorf("selector throughput %.2f not below full MPTCP's %.2f", selT, liaT)
+	}
+	if selP >= liaP {
+		t.Errorf("selector power %.2f W not below full MPTCP's %.2f W", selP, liaP)
+	}
+}
+
+func TestFig17DTSSavesOnHandset(t *testing.T) {
+	res := Fig17(Config{Seed: 1, Scale: 0.3, Reps: 2})
+	dts := cell(t, res, findRow(t, res, "dts"), "energy_saving_vs_lia_pct")
+	dtsep := cell(t, res, findRow(t, res, "dtsep"), "energy_saving_vs_lia_pct")
+	if dts <= -5 && dtsep <= -5 {
+		t.Errorf("neither DTS (%.1f%%) nor DTS-EP (%.1f%%) saves handset energy vs LIA", dts, dtsep)
+	}
+}

@@ -1,0 +1,219 @@
+// Package fluid numerically integrates the paper's Eq. 3 fluid model
+//
+//	dx_r/dt = ψ_r(x)·x_r² / (RTT_r²·(Σ_k x_k)²) − β_r(x)·λ_r(x)·x_r² − φ_r(x)
+//
+// so the §IV/§V analysis can be checked independently of the packet
+// simulator: equilibria, TCP-friendliness (Condition 1) and the effect of
+// the compensative term are computed here and compared against packet-
+// level runs in the tests.
+//
+// Loss signals use the standard Kelly congestion price: a path through a
+// link of capacity C charges λ(y) = (y/C)^b for offered load y, with a
+// large exponent b approximating a hard capacity constraint.
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"mptcpsim/internal/core"
+)
+
+// Path is one route of the modelled connection: a round-trip time, a
+// bottleneck capacity, and optional constant cross traffic sharing it.
+type Path struct {
+	RTT      float64 // seconds
+	Capacity float64 // packets per second
+	Cross    float64 // packets per second of competing traffic
+}
+
+// System is an Eq. 3 instance over a set of paths. Psi/Beta/Phi follow the
+// congestion-control model; nil Beta means the TCP standard 1/2 and nil
+// Phi means no compensative term.
+type System struct {
+	Paths []Path
+	Psi   func(x []float64, r int) float64
+	Beta  func(x []float64, r int) float64
+	Phi   func(x []float64, r int) float64
+
+	// PriceExp is the Kelly price exponent b (default 6).
+	PriceExp float64
+
+	// SharedBottleneck, when set, derives every path's loss signal from
+	// the aggregate rate over Paths[0].Capacity — the Fig. 5a situation of
+	// all subflows crossing one link, where TCP-friendliness (Condition 1)
+	// is defined.
+	SharedBottleneck bool
+}
+
+func (s *System) priceExp() float64 {
+	if s.PriceExp <= 0 {
+		return 6
+	}
+	return s.PriceExp
+}
+
+// Lambda returns the loss signal λ_r at rate vector x.
+func (s *System) Lambda(x []float64, r int) float64 {
+	var load, capacity float64
+	if s.SharedBottleneck {
+		capacity = s.Paths[0].Capacity
+		for k, p := range s.Paths {
+			load += x[k] + p.Cross
+		}
+	} else {
+		capacity = s.Paths[r].Capacity
+		load = x[r] + s.Paths[r].Cross
+	}
+	if capacity <= 0 || load <= 0 {
+		return 0
+	}
+	return math.Pow(load/capacity, s.priceExp())
+}
+
+// Derivative evaluates dx/dt into dx.
+func (s *System) Derivative(x, dx []float64) {
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	for r := range s.Paths {
+		xr := x[r]
+		if xr <= 0 {
+			xr = 1e-9
+		}
+		rtt := s.Paths[r].RTT
+		inc := s.Psi(x, r) * xr * xr / (rtt * rtt * sum * sum)
+		beta := 0.5
+		if s.Beta != nil {
+			beta = s.Beta(x, r)
+		}
+		dec := beta * s.Lambda(x, r) * xr * xr
+		var phi float64
+		if s.Phi != nil {
+			phi = s.Phi(x, r)
+		}
+		dx[r] = inc - dec - phi
+	}
+}
+
+// Integrate advances the system from x0 with classic RK4 for steps of
+// size dt and returns the final state. Rates are floored at a small
+// positive value (a flow never fully disappears — its window is at least
+// one segment).
+func (s *System) Integrate(x0 []float64, dt float64, steps int) []float64 {
+	n := len(x0)
+	x := make([]float64, n)
+	copy(x, x0)
+	k1 := make([]float64, n)
+	k2 := make([]float64, n)
+	k3 := make([]float64, n)
+	k4 := make([]float64, n)
+	tmp := make([]float64, n)
+
+	for i := 0; i < steps; i++ {
+		s.Derivative(x, k1)
+		for j := range tmp {
+			tmp[j] = x[j] + dt/2*k1[j]
+		}
+		s.Derivative(tmp, k2)
+		for j := range tmp {
+			tmp[j] = x[j] + dt/2*k2[j]
+		}
+		s.Derivative(tmp, k3)
+		for j := range tmp {
+			tmp[j] = x[j] + dt*k3[j]
+		}
+		s.Derivative(tmp, k4)
+		for j := range x {
+			x[j] += dt / 6 * (k1[j] + 2*k2[j] + 2*k3[j] + k4[j])
+			if x[j] < 1e-6 {
+				x[j] = 1e-6
+			}
+		}
+	}
+	return x
+}
+
+// Equilibrium integrates until the relative derivative is below tol,
+// returning the state and whether it converged within maxSteps.
+func (s *System) Equilibrium(x0 []float64, tol float64, maxSteps int) ([]float64, bool) {
+	x := make([]float64, len(x0))
+	copy(x, x0)
+	dx := make([]float64, len(x0))
+	const batch = 200
+	dt := 0.25 * s.minRTT()
+	for step := 0; step < maxSteps; step += batch {
+		x = s.Integrate(x, dt, batch)
+		s.Derivative(x, dx)
+		settled := true
+		for r := range x {
+			if math.Abs(dx[r]) > tol*math.Max(x[r], 1) {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return x, true
+		}
+	}
+	return x, false
+}
+
+func (s *System) minRTT() float64 {
+	min := math.Inf(1)
+	for _, p := range s.Paths {
+		if p.RTT < min {
+			min = p.RTT
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0.01
+	}
+	return min
+}
+
+// Views synthesizes core.View state from a rate vector so the packet-level
+// ψ decompositions in internal/core can drive the fluid model.
+// baseRTTFrac sets BaseRTT/RTT (the paper treats its expectation as 1/2).
+func (s *System) Views(x []float64, baseRTTFrac float64) []core.View {
+	views := make([]core.View, len(s.Paths))
+	for r, p := range s.Paths {
+		views[r] = core.View{
+			Cwnd:    x[r] * p.RTT,
+			SRTT:    p.RTT,
+			LastRTT: p.RTT,
+			BaseRTT: p.RTT * baseRTTFrac,
+		}
+	}
+	return views
+}
+
+// FromParam adapts a core.ParamFunc (the §IV ψ decompositions) to the
+// fluid model's signature.
+func (s *System) FromParam(fn core.ParamFunc, baseRTTFrac float64) func(x []float64, r int) float64 {
+	return func(x []float64, r int) float64 {
+		return fn(s.Views(x, baseRTTFrac), r)
+	}
+}
+
+// AggregateRate sums the rate vector.
+func AggregateRate(x []float64) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	return sum
+}
+
+// String formats a rate vector for diagnostics.
+func String(x []float64) string {
+	out := "["
+	for i, v := range x {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.1f", v)
+	}
+	return out + "]"
+}

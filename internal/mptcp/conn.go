@@ -1,0 +1,258 @@
+// Package mptcp implements the MPTCP connection layer: one connection
+// spreads over multiple subflows (internal/tcp senders on distinct
+// netem.Paths) whose congestion windows evolve under a shared, possibly
+// coupled core.Algorithm. The connection enforces the connection-level
+// receive window across subflows and accounts for transfer completion.
+//
+// Data scheduling is pull-based: a subflow pulls a new segment whenever its
+// own window and the connection-level window have room, so low-RTT subflows
+// — whose ACK clock runs faster — naturally pull more data, approximating
+// the Linux default lowest-RTT scheduler. Connection-level reassembly is
+// not modelled beyond the shared receive-window cap, the standard
+// simplification for congestion-control studies (htsim does the same).
+package mptcp
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/core"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/tcp"
+	"mptcpsim/internal/trace"
+)
+
+// Config configures a connection.
+type Config struct {
+	// Transport is the per-subflow TCP parameterization.
+	Transport tcp.Config
+
+	// Algorithm names the congestion-control algorithm (see core.Names).
+	Algorithm string
+
+	// RwndSegments caps the total segments in flight across all subflows
+	// (the connection-level receive window). 0 means unlimited.
+	RwndSegments int64
+
+	// TransferBytes is the amount of application data to send; 0 means an
+	// unlimited (long-lived) source.
+	TransferBytes int64
+
+	// AppLimited, when set, makes the connection send only data the
+	// application has produced via Produce (a streaming source), instead
+	// of an infinite backlog. Mutually exclusive with TransferBytes.
+	AppLimited bool
+}
+
+// Conn is one MPTCP connection (or, with a single path and a single-path
+// algorithm, a regular TCP connection).
+type Conn struct {
+	eng  *sim.Engine
+	cfg  Config
+	alg  core.Algorithm
+	subs []*tcp.Subflow
+
+	totalSegs    int64 // 0 = unlimited
+	producedSegs int64 // app-limited mode: segments made available
+	sentSegs     int64
+	ackedSegs    int64
+
+	done        bool
+	completedAt sim.Time
+
+	// OnComplete, when set, fires once when the whole transfer is acked.
+	OnComplete func(at sim.Time)
+
+	disabled []bool // per-subflow gates (path-selection baselines)
+
+	goodput *trace.RateMeter
+	views   []core.View
+}
+
+// New assembles a connection with one subflow per path. flowID tags packets
+// for tracing.
+func New(eng *sim.Engine, cfg Config, flowID uint64, paths ...*netem.Path) (*Conn, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("mptcp: connection needs at least one path")
+	}
+	alg, err := core.New(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		eng:     eng,
+		cfg:     cfg,
+		alg:     alg,
+		goodput: trace.NewRateMeter(eng, 1),
+		views:   make([]core.View, len(paths)),
+	}
+	mss := cfg.Transport.MSS
+	if mss == 0 {
+		mss = 1448
+	}
+	if cfg.TransferBytes > 0 {
+		c.totalSegs = (cfg.TransferBytes + int64(mss) - 1) / int64(mss)
+	}
+	for i, p := range paths {
+		c.subs = append(c.subs, tcp.NewSubflow(eng, cfg.Transport, c, flowID, i, p))
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(eng *sim.Engine, cfg Config, flowID uint64, paths ...*netem.Path) *Conn {
+	c, err := New(eng, cfg, flowID, paths...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SetAlgorithm swaps the congestion-control algorithm instance; call it
+// before Start (used for parameterized variants outside the registry).
+func (c *Conn) SetAlgorithm(alg core.Algorithm) { c.alg = alg }
+
+// Start begins the transfer on every subflow.
+func (c *Conn) Start() {
+	for _, s := range c.subs {
+		s.Start()
+	}
+}
+
+// Alg implements tcp.Coordinator.
+func (c *Conn) Alg() core.Algorithm { return c.alg }
+
+// Views implements tcp.Coordinator. The returned slice is reused between
+// calls; algorithms must not retain it.
+func (c *Conn) Views() []core.View {
+	for i, s := range c.subs {
+		c.views[i] = s.View()
+	}
+	return c.views
+}
+
+// AllowSend implements tcp.Coordinator.
+func (c *Conn) AllowSend(r int) bool {
+	if c.totalSegs > 0 && c.sentSegs >= c.totalSegs {
+		return false
+	}
+	if c.cfg.AppLimited && c.sentSegs >= c.producedSegs {
+		return false
+	}
+	if c.cfg.RwndSegments > 0 && c.inflight() >= c.cfg.RwndSegments {
+		return false
+	}
+	if c.disabled != nil && c.disabled[r] {
+		return false
+	}
+	return true
+}
+
+// SetSubflowEnabled gates new data on subflow r (in-flight data still
+// drains). Path-selection baselines use it to suspend expensive paths.
+func (c *Conn) SetSubflowEnabled(r int, enabled bool) {
+	if c.disabled == nil {
+		c.disabled = make([]bool, len(c.subs))
+	}
+	c.disabled[r] = !enabled
+	if enabled {
+		c.subs[r].Start()
+	}
+}
+
+// SubflowEnabled reports whether subflow r may send new data.
+func (c *Conn) SubflowEnabled(r int) bool {
+	return c.disabled == nil || !c.disabled[r]
+}
+
+// NoteSend implements tcp.Coordinator. It is called once per unique
+// segment (retransmissions are not re-charged), so sentSegs counts
+// distinct application segments handed to subflows.
+func (c *Conn) NoteSend(r int) { c.sentSegs++ }
+
+// NoteAcked implements tcp.Coordinator.
+func (c *Conn) NoteAcked(r int, pkts int) {
+	c.ackedSegs += int64(pkts)
+	mss := c.cfg.Transport.MSS
+	if mss == 0 {
+		mss = 1448
+	}
+	c.goodput.Count(pkts * mss)
+	if !c.done && c.totalSegs > 0 && c.ackedSegs >= c.totalSegs {
+		c.done = true
+		c.completedAt = c.eng.Now()
+		if c.OnComplete != nil {
+			c.OnComplete(c.completedAt)
+		}
+	}
+}
+
+func (c *Conn) inflight() int64 {
+	var sum int64
+	for _, s := range c.subs {
+		sum += s.Inflight()
+	}
+	return sum
+}
+
+// Produce makes bytes of application data available to an AppLimited
+// connection and kicks the subflows so they pick it up immediately.
+func (c *Conn) Produce(bytes int64) {
+	mss := c.cfg.Transport.MSS
+	if mss == 0 {
+		mss = 1448
+	}
+	c.producedSegs += (bytes + int64(mss) - 1) / int64(mss)
+	for _, s := range c.subs {
+		s.Start()
+	}
+}
+
+// ProducedBytes reports the application data made available so far.
+func (c *Conn) ProducedBytes() int64 {
+	mss := c.cfg.Transport.MSS
+	if mss == 0 {
+		mss = 1448
+	}
+	return c.producedSegs * int64(mss)
+}
+
+// Subflows returns the connection's subflows.
+func (c *Conn) Subflows() []*tcp.Subflow { return c.subs }
+
+// Done reports whether a finite transfer has fully completed.
+func (c *Conn) Done() bool { return c.done }
+
+// CompletedAt returns the completion instant of a finite transfer (zero
+// until Done).
+func (c *Conn) CompletedAt() sim.Time { return c.completedAt }
+
+// AckedBytes returns the goodput delivered so far in bytes.
+func (c *Conn) AckedBytes() uint64 { return c.goodput.TotalBytes() }
+
+// Goodput returns the connection's goodput meter.
+func (c *Conn) Goodput() *trace.RateMeter { return c.goodput }
+
+// MeanThroughputBps returns the average goodput over [0, now] in bits per
+// second (or over [0, completion] for finished transfers).
+func (c *Conn) MeanThroughputBps() float64 {
+	end := c.eng.Now()
+	if c.done {
+		end = c.completedAt
+	}
+	if end <= 0 {
+		return 0
+	}
+	return float64(c.AckedBytes()) * 8 * float64(sim.Second) / float64(end)
+}
+
+// MeanSRTTSeconds returns the average smoothed RTT across subflows.
+func (c *Conn) MeanSRTTSeconds() float64 {
+	var sum float64
+	for _, s := range c.subs {
+		sum += s.SRTT().Seconds()
+	}
+	return sum / float64(len(c.subs))
+}
+
+var _ tcp.Coordinator = (*Conn)(nil)

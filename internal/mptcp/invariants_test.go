@@ -1,0 +1,115 @@
+package mptcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+)
+
+// Property: for any mix of path rates/delays/queues and any algorithm, a
+// finite transfer either completes with exactly the requested segments
+// acked, or the byte conservation invariant holds mid-flight: segments
+// acked never exceed segments sent, and sent never exceeds the budget.
+func TestConservationProperty(t *testing.T) {
+	algs := []string{"lia", "olia", "balia", "dts", "dts-lia", "ewtcp", "wvegas"}
+	f := func(seed int64, r1, r2 uint8, d1, d2 uint8, q uint8, algPick uint8) bool {
+		eng := sim.NewEngine(seed)
+		mk := func(name string, r, d, ql int) *netem.Path {
+			fwd := netem.NewLink(eng, netem.LinkConfig{Name: name, Rate: int64(r) * netem.Mbps, Delay: sim.Time(d) * sim.Millisecond, QueueLimit: ql})
+			rev := netem.NewLink(eng, netem.LinkConfig{Name: name + "r", Rate: int64(r) * netem.Mbps, Delay: sim.Time(d) * sim.Millisecond, QueueLimit: ql})
+			return &netem.Path{Name: name, Forward: []*netem.Link{fwd}, Reverse: []*netem.Link{rev}}
+		}
+		p1 := mk("a", int(r1%50)+2, int(d1%40)+1, int(q%60)+4)
+		p2 := mk("b", int(r2%50)+2, int(d2%40)+1, int(q%60)+4)
+		alg := algs[int(algPick)%len(algs)]
+		const segs = 200
+		c := MustNew(eng, Config{
+			Algorithm:     alg,
+			TransferBytes: segs * 1448,
+		}, 1, p1, p2)
+		c.Start()
+		eng.Run(20 * sim.Second)
+
+		if c.ackedSegs > c.sentSegs {
+			t.Logf("%s: acked %d > sent %d", alg, c.ackedSegs, c.sentSegs)
+			return false
+		}
+		if c.sentSegs > segs {
+			t.Logf("%s: sent %d > budget %d", alg, c.sentSegs, segs)
+			return false
+		}
+		if c.Done() && c.ackedSegs != segs {
+			t.Logf("%s: done with %d acked", alg, c.ackedSegs)
+			return false
+		}
+		// Subflow-level sanity.
+		for _, s := range c.Subflows() {
+			if s.Cwnd() < 1 {
+				t.Logf("%s: cwnd %f < 1", alg, s.Cwnd())
+				return false
+			}
+			if s.Outstanding() < 0 {
+				t.Logf("%s: negative pipe %d", alg, s.Outstanding())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfers over sane paths eventually complete, whatever the
+// algorithm — no algorithm deadlocks the transport.
+func TestLivenessProperty(t *testing.T) {
+	f := func(seed int64, algPick uint8) bool {
+		algs := []string{"reno", "dctcp", "coupled", "lia", "olia", "balia", "ecmtcp", "wvegas", "dts", "dts-lia", "dtsep", "ewtcp"}
+		alg := algs[int(algPick)%len(algs)]
+		eng := sim.NewEngine(seed)
+		p1 := makePath(eng, "p1", 10*netem.Mbps, 10*sim.Millisecond, 30)
+		p2 := makePath(eng, "p2", 5*netem.Mbps, 30*sim.Millisecond, 30)
+		paths := []*netem.Path{p1, p2}
+		if alg == "reno" || alg == "dctcp" {
+			paths = paths[:1]
+		}
+		c := MustNew(eng, Config{Algorithm: alg, TransferBytes: 1 << 20}, 1, paths...)
+		c.Start()
+		eng.Run(120 * sim.Second)
+		if !c.Done() {
+			t.Logf("%s: stalled with %d bytes acked", alg, c.AckedBytes())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the connection-level receive window is never violated, for
+// any window size.
+func TestRwndNeverViolatedProperty(t *testing.T) {
+	f := func(seed int64, rwndRaw uint8) bool {
+		rwnd := int64(rwndRaw%60) + 4
+		eng := sim.NewEngine(seed)
+		p1 := makePath(eng, "p1", 50*netem.Mbps, 20*sim.Millisecond, 200)
+		p2 := makePath(eng, "p2", 50*netem.Mbps, 40*sim.Millisecond, 200)
+		c := MustNew(eng, Config{Algorithm: "lia", RwndSegments: rwnd}, 1, p1, p2)
+		c.Start()
+		ok := true
+		for at := sim.Second; at <= 8*sim.Second; at += 250 * sim.Millisecond {
+			eng.Run(at)
+			if c.inflight() > rwnd {
+				ok = false
+				break
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package mptcp
+
+import (
+	"testing"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+)
+
+func TestLowRTTPathCarriesMoreWhenRwndBound(t *testing.T) {
+	// Under a binding connection-level window, the pull-based scheduler
+	// lets the faster ACK clock win: the low-RTT subflow must carry the
+	// clear majority of the data (the Linux default scheduler's effect).
+	eng := sim.NewEngine(1)
+	fast := makePath(eng, "fast", 50*netem.Mbps, 5*sim.Millisecond, 200)
+	slow := makePath(eng, "slow", 50*netem.Mbps, 80*sim.Millisecond, 200)
+	c := MustNew(eng, Config{Algorithm: "lia", RwndSegments: 40}, 1, fast, slow)
+	c.Start()
+	eng.Run(30 * sim.Second)
+
+	fastAcked := float64(c.Subflows()[0].Acked())
+	slowAcked := float64(c.Subflows()[1].Acked())
+	if fastAcked < 3*slowAcked {
+		t.Errorf("fast path carried %.0f segs vs slow %.0f; expected heavy low-RTT preference under rwnd limit",
+			fastAcked, slowAcked)
+	}
+}
+
+func TestAppLimitedProduceDrivesTransfer(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p := makePath(eng, "p", 10*netem.Mbps, 5*sim.Millisecond, 100)
+	c := MustNew(eng, Config{Algorithm: "reno", AppLimited: true}, 1, p)
+	c.Start()
+	eng.Run(sim.Second)
+	if c.AckedBytes() != 0 {
+		t.Fatalf("app-limited connection sent %d bytes with nothing produced", c.AckedBytes())
+	}
+	eng.At(eng.Now(), func() { c.Produce(100 * 1448) })
+	eng.Run(5 * sim.Second)
+	if got := c.AckedBytes(); got != 100*1448 {
+		t.Errorf("acked %d bytes, want exactly the produced 144800", got)
+	}
+}
+
+func TestMeanSRTTAveragesSubflows(t *testing.T) {
+	eng := sim.NewEngine(1)
+	p1 := makePath(eng, "p1", 10*netem.Mbps, 5*sim.Millisecond, 100)
+	p2 := makePath(eng, "p2", 10*netem.Mbps, 45*sim.Millisecond, 100)
+	c := MustNew(eng, Config{Algorithm: "lia"}, 1, p1, p2)
+	c.Start()
+	eng.Run(10 * sim.Second)
+	mean := c.MeanSRTTSeconds()
+	s1 := c.Subflows()[0].SRTT().Seconds()
+	s2 := c.Subflows()[1].SRTT().Seconds()
+	want := (s1 + s2) / 2
+	if mean < want*0.99 || mean > want*1.01 {
+		t.Errorf("MeanSRTT = %v, want %v", mean, want)
+	}
+}

@@ -1,0 +1,193 @@
+package netem
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/sim"
+)
+
+// Bandwidth constants in bits per second.
+const (
+	Kbps int64 = 1000
+	Mbps       = 1000 * Kbps
+	Gbps       = 1000 * Mbps
+)
+
+// DefaultQueueLimit is the DropTail queue capacity used when a LinkConfig
+// leaves QueueLimit zero. It matches common simulator defaults (htsim, ns-2).
+const DefaultQueueLimit = 100
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	Name  string
+	Rate  int64    // line rate, bits per second
+	Delay sim.Time // one-way propagation delay
+
+	// QueueLimit is the DropTail capacity in packets (DefaultQueueLimit when 0).
+	QueueLimit int
+
+	// MarkThreshold, when positive, sets the ECN CE codepoint on packets
+	// that arrive to a queue of at least this many packets (DCTCP-style
+	// step marking).
+	MarkThreshold int
+
+	// LossProb drops arriving packets at random with this probability,
+	// modelling a lossy (e.g. wireless) medium. Zero disables it.
+	LossProb float64
+
+	// PriceRho and PriceGamma configure the per-link energy price that data
+	// packets accumulate in transit: rho + gamma*max(0, qlen-PriceQTarget).
+	// The paper's U_ep (Eq. 6) charges this only on switch-to-switch links,
+	// so topology builders set it there and leave it zero elsewhere.
+	PriceRho     float64
+	PriceGamma   float64
+	PriceQTarget int
+}
+
+// Link is a unidirectional link: a DropTail FIFO drained at line rate, with
+// each departing packet delivered to its next hop after the propagation
+// delay. Propagation overlaps the serialization of subsequent packets.
+type Link struct {
+	eng *sim.Engine
+	cfg LinkConfig
+
+	queue []*Packet
+	busy  bool
+
+	txDoneFn func() // cached method value for the hot path
+
+	// Counters, exported via methods.
+	delivered   uint64
+	dropped     uint64
+	randDropped uint64
+	bytesOut    uint64
+	busyTime    sim.Time
+	lastTxStart sim.Time
+}
+
+// NewLink creates a link driven by eng.
+func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("netem: link %q has non-positive rate %d", cfg.Name, cfg.Rate))
+	}
+	if cfg.QueueLimit == 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	l := &Link{eng: eng, cfg: cfg}
+	l.txDoneFn = l.txDone
+	return l
+}
+
+// Name returns the configured link name.
+func (l *Link) Name() string { return l.cfg.Name }
+
+// Rate returns the line rate in bits per second.
+func (l *Link) Rate() int64 { return l.cfg.Rate }
+
+// Delay returns the one-way propagation delay.
+func (l *Link) Delay() sim.Time { return l.cfg.Delay }
+
+// QueueLen reports the number of packets currently queued or in
+// serialization.
+func (l *Link) QueueLen() int { return len(l.queue) }
+
+// QueueLimit reports the DropTail capacity in packets.
+func (l *Link) QueueLimit() int { return l.cfg.QueueLimit }
+
+// Delivered reports packets fully forwarded to their next hop.
+func (l *Link) Delivered() uint64 { return l.delivered }
+
+// Dropped reports packets lost to queue overflow.
+func (l *Link) Dropped() uint64 { return l.dropped }
+
+// RandDropped reports packets lost to the random-loss model.
+func (l *Link) RandDropped() uint64 { return l.randDropped }
+
+// BytesDelivered reports the payload bytes fully forwarded.
+func (l *Link) BytesDelivered() uint64 { return l.bytesOut }
+
+// Utilization reports the fraction of the interval [0, now] the link spent
+// serializing packets.
+func (l *Link) Utilization() float64 {
+	now := l.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := l.busyTime
+	if l.busy {
+		busy += now - l.lastTxStart
+	}
+	return float64(busy) / float64(now)
+}
+
+// TxTime returns the serialization delay of a packet of size bytes.
+func (l *Link) TxTime(size int) sim.Time {
+	return sim.Time(int64(size) * 8 * int64(sim.Second) / l.cfg.Rate)
+}
+
+// SetPrice enables the energy price on an existing link (topology builders
+// call it for switch-to-switch links, the set Eq. 6 charges).
+func (l *Link) SetPrice(rho, gamma float64, qTarget int) {
+	l.cfg.PriceRho = rho
+	l.cfg.PriceGamma = gamma
+	l.cfg.PriceQTarget = qTarget
+}
+
+// Price returns the link's current energy price contribution.
+func (l *Link) Price() float64 {
+	if l.cfg.PriceRho == 0 && l.cfg.PriceGamma == 0 {
+		return 0
+	}
+	excess := len(l.queue) - l.cfg.PriceQTarget
+	if excess < 0 {
+		excess = 0
+	}
+	return l.cfg.PriceRho + l.cfg.PriceGamma*float64(excess)
+}
+
+// Enqueue admits a packet to the link, dropping it when the queue is full or
+// the random-loss model fires. Admitted packets may be ECN-marked and
+// accumulate the link's energy price.
+func (l *Link) Enqueue(p *Packet) {
+	if l.cfg.LossProb > 0 && l.eng.Rand().Float64() < l.cfg.LossProb {
+		l.randDropped++
+		p.Release()
+		return
+	}
+	if len(l.queue) >= l.cfg.QueueLimit {
+		l.dropped++
+		p.Release()
+		return
+	}
+	if l.cfg.MarkThreshold > 0 && len(l.queue) >= l.cfg.MarkThreshold && !p.IsAck {
+		p.CE = true
+	}
+	if !p.IsAck {
+		p.Price += l.Price()
+	}
+	l.queue = append(l.queue, p)
+	if !l.busy {
+		l.startTx()
+	}
+}
+
+func (l *Link) startTx() {
+	l.busy = true
+	l.lastTxStart = l.eng.Now()
+	l.eng.ScheduleAfter(l.TxTime(l.queue[0].Size), l.txDoneFn)
+}
+
+// txDone completes serialization of the head-of-line packet.
+func (l *Link) txDone() {
+	p := l.queue[0]
+	l.queue = l.queue[1:]
+	l.delivered++
+	l.bytesOut += uint64(p.Size)
+	l.busyTime += l.eng.Now() - l.lastTxStart
+	l.eng.ScheduleAfter(l.cfg.Delay, p.fwd())
+	if len(l.queue) > 0 {
+		l.startTx()
+	} else {
+		l.busy = false
+	}
+}

@@ -1,0 +1,110 @@
+// Package netem provides the packet-level network elements of the simulator:
+// packets, links with finite-rate serialization and DropTail/ECN queues, and
+// source-routed forwarding between them.
+package netem
+
+import (
+	"sync"
+
+	"mptcpsim/internal/sim"
+)
+
+// Endpoint consumes packets at the end of a route. Transport receivers and
+// senders (for ACKs) implement it.
+type Endpoint interface {
+	Receive(p *Packet)
+}
+
+// Packet is a simulated network packet. Sequence and acknowledgement numbers
+// are in MSS units (one data packet carries one segment); Size is the wire
+// size in bytes and is what links serialize.
+type Packet struct {
+	// Flow identifies the transport flow; Subflow the MPTCP subflow index
+	// within it. Both are carried for tracing and demultiplexing.
+	Flow    uint64
+	Subflow int
+
+	Seq   int64 // data: segment sequence number
+	Size  int   // wire size in bytes
+	IsAck bool
+	Ack   int64 // ack: cumulative acknowledgement (next expected Seq)
+
+	// SackSeq, on ACKs, is the sequence number of the data segment whose
+	// arrival generated this ACK — per-segment selective acknowledgement,
+	// the idealized equivalent of the SACK option.
+	SackSeq int64
+
+	// CE is the ECN Congestion Experienced codepoint, set by marking queues
+	// on data packets. ECE echoes it back on ACKs (for DCTCP).
+	CE  bool
+	ECE bool
+
+	// SentAt is the simulated send time of a data packet. EchoedAt carries
+	// it back on the corresponding ACK, giving the sender an exact RTT
+	// sample (the TCP timestamp option, idealized).
+	SentAt   sim.Time
+	EchoedAt sim.Time
+
+	// Price accumulates per-link energy prices on data packets (Eq. 6-9 of
+	// the paper, carried as in-band telemetry). EchoPrice returns it on ACKs.
+	Price     float64
+	EchoPrice float64
+
+	route []*Link
+	hop   int
+	dst   Endpoint
+	fwdFn func()
+}
+
+var pktPool = sync.Pool{New: func() any { return &Packet{} }}
+
+// NewPacket returns a zeroed packet, recycled from the pool when possible.
+// Hot paths (transports, traffic generators) pair it with Release; plain
+// &Packet{} literals remain fine for everything else.
+func NewPacket() *Packet {
+	p := pktPool.Get().(*Packet)
+	fn := p.fwdFn // survives reuse; it is bound to this same pointer
+	*p = Packet{}
+	p.fwdFn = fn
+	return p
+}
+
+// Release returns the packet to the pool. Only the final consumer — the
+// endpoint that fully processed it, or the link that dropped it — may call
+// it, and the packet must not be touched afterwards.
+func (p *Packet) Release() {
+	pktPool.Put(p)
+}
+
+// SetRoute assigns the chain of links the packet will traverse and the
+// endpoint that consumes it after the last link.
+func (p *Packet) SetRoute(links []*Link, dst Endpoint) {
+	p.route = links
+	p.hop = 0
+	p.dst = dst
+}
+
+// Send injects the packet into the first link of its route, or delivers it
+// directly when the route is empty (loopback).
+func (p *Packet) Send() {
+	p.forward()
+}
+
+// fwd returns a cached closure over forward, so scheduling a hop does not
+// allocate.
+func (p *Packet) fwd() func() {
+	if p.fwdFn == nil {
+		p.fwdFn = p.forward
+	}
+	return p.fwdFn
+}
+
+func (p *Packet) forward() {
+	if p.hop >= len(p.route) {
+		p.dst.Receive(p)
+		return
+	}
+	l := p.route[p.hop]
+	p.hop++
+	l.Enqueue(p)
+}

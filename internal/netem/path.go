@@ -1,0 +1,47 @@
+package netem
+
+import "mptcpsim/internal/sim"
+
+// Path is one end-to-end route of a (sub)flow: the chain of links data
+// packets traverse and the chain ACKs take back.
+type Path struct {
+	Name    string
+	Forward []*Link
+	Reverse []*Link
+}
+
+// MinRate returns the smallest line rate along the forward direction — the
+// path's bottleneck bandwidth.
+func (p *Path) MinRate() int64 {
+	var min int64
+	for _, l := range p.Forward {
+		if min == 0 || l.Rate() < min {
+			min = l.Rate()
+		}
+	}
+	return min
+}
+
+// BaseRTT returns the no-queueing round-trip time for a data packet of
+// dataSize bytes acknowledged by an ACK of ackSize bytes: propagation both
+// ways plus per-hop serialization.
+func (p *Path) BaseRTT(dataSize, ackSize int) sim.Time {
+	var rtt sim.Time
+	for _, l := range p.Forward {
+		rtt += l.Delay() + l.TxTime(dataSize)
+	}
+	for _, l := range p.Reverse {
+		rtt += l.Delay() + l.TxTime(ackSize)
+	}
+	return rtt
+}
+
+// PriceSum returns the current total energy price along the forward links.
+// It is the oracle form of the in-band price that data packets accumulate.
+func (p *Path) PriceSum() float64 {
+	var sum float64
+	for _, l := range p.Forward {
+		sum += l.Price()
+	}
+	return sum
+}

@@ -1,0 +1,234 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock from event to event. Events scheduled
+// for the same instant run in the order they were scheduled, which — together
+// with a seeded random source — makes every run fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Time is a simulated instant, measured in nanoseconds from the start of the
+// run. It is deliberately distinct from time.Time: simulated time has no
+// calendar and starts at zero.
+type Time int64
+
+// Common durations converted to simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// FromDuration converts a wall-clock duration to simulated time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Duration converts simulated time to a time.Duration for display.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the instant as fractional seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+
+	index    int // heap index; -1 once popped or cancelled
+	canceled bool
+	tracked  bool // referenced by a Timer; never recycled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled event that can be cancelled before it
+// fires. The zero value is not usable; timers come from Engine.At/After.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the event had not yet fired.
+// Stopping an already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index != -1
+}
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe for
+// concurrent use; a simulation run owns exactly one engine.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	free []*event // recycled untracked events
+
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed reports how many events have run so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at instant t. Scheduling in the past runs the event
+// at the current time (it cannot rewind the clock). It returns a cancellable
+// timer handle.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	ev := e.push(t, fn)
+	ev.tracked = true
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Schedule is the hot-path variant of At: it returns no timer handle and
+// lets the engine recycle the event after it fires. Use it when the event
+// never needs cancelling.
+func (e *Engine) Schedule(t Time, fn func()) {
+	e.push(t, fn)
+}
+
+// ScheduleAfter is Schedule relative to the current time.
+func (e *Engine) ScheduleAfter(d Time, fn func()) {
+	e.push(e.now+d, fn)
+}
+
+func (e *Engine) push(t Time, fn func()) *event {
+	if t < e.now {
+		t = e.now
+	}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = event{at: t, seq: e.seq, fn: fn}
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Stop makes Run return after the event currently executing completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue empties or the
+// clock would pass until. It returns the time at which it stopped: until if
+// the horizon was reached, otherwise the time of the last event.
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			e.recycle(next)
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		fn := next.fn
+		e.recycle(next)
+		fn()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+	return e.now
+}
+
+func (e *Engine) recycle(ev *event) {
+	if ev.tracked {
+		return
+	}
+	ev.fn = nil
+	if len(e.free) < 1024 {
+		e.free = append(e.free, ev)
+	}
+}
+
+// Drain runs every remaining event regardless of time, leaving the clock
+// at the last event processed (so the engine stays usable afterwards).
+// Intended for tests.
+func (e *Engine) Drain() {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		heap.Pop(&e.events)
+		if next.canceled {
+			e.recycle(next)
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		fn := next.fn
+		e.recycle(next)
+		fn()
+	}
+}
+
+// Pending reports how many events (including cancelled ones not yet popped)
+// remain queued.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	eng := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		eng.ScheduleAfter(Microsecond, tick)
+	}
+	eng.ScheduleAfter(Microsecond, tick)
+	b.ResetTimer()
+	eng.Run(Time(b.N) * Microsecond)
+	if n == 0 {
+		b.Fatal("no events ran")
+	}
+	b.ReportMetric(float64(n)/float64(b.N), "events/op")
+}
+
+func BenchmarkTimerChurn(b *testing.B) {
+	// The rearm-heavy pattern transports generate: schedule far ahead,
+	// cancel, reschedule.
+	eng := NewEngine(1)
+	b.ResetTimer()
+	var tm *Timer
+	for i := 0; i < b.N; i++ {
+		if tm != nil {
+			tm.Stop()
+		}
+		tm = eng.After(Second, func() {})
+		if i%64 == 0 {
+			eng.Run(eng.Now() + Microsecond)
+		}
+	}
+}

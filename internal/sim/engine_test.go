@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, at := range []Time{5 * Millisecond, Millisecond, 3 * Millisecond} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run(Second)
+	want := []Time{Millisecond, 3 * Millisecond, 5 * Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineSameTimestampFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(Millisecond, func() { order = append(order, i) })
+	}
+	e.Run(Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d; same-time events must run FIFO", i, v)
+		}
+	}
+}
+
+func TestEngineClockAdvancesMonotonically(t *testing.T) {
+	e := NewEngine(7)
+	rng := rand.New(rand.NewSource(42))
+	var stamps []Time
+	for i := 0; i < 500; i++ {
+		e.At(Time(rng.Int63n(int64(Second))), func() { stamps = append(stamps, e.Now()) })
+	}
+	e.Run(Second)
+	if len(stamps) != 500 {
+		t.Fatalf("ran %d events, want 500", len(stamps))
+	}
+	if !sort.SliceIsSorted(stamps, func(i, j int) bool { return stamps[i] < stamps[j] }) {
+		t.Error("engine clock went backwards")
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(10*Millisecond, func() {
+		e.After(5*Millisecond, func() { at = e.Now() })
+	})
+	e.Run(Second)
+	if at != 15*Millisecond {
+		t.Errorf("nested After fired at %v, want 15ms", at.Duration())
+	}
+}
+
+func TestEngineSchedulingInPastClampsToNow(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.At(10*Millisecond, func() {
+		e.At(Millisecond, func() { at = e.Now() })
+	})
+	e.Run(Second)
+	if at != 10*Millisecond {
+		t.Errorf("past event fired at %v, want clamped to 10ms", at.Duration())
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.At(2*Second, func() { ran = true })
+	end := e.Run(Second)
+	if ran {
+		t.Error("event beyond horizon ran")
+	}
+	if end != Second {
+		t.Errorf("Run returned %v, want horizon 1s", end.Duration())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	// A later Run picks the event up.
+	e.Run(3 * Second)
+	if !ran {
+		t.Error("event did not run after horizon extended")
+	}
+}
+
+func TestTimerStopPreventsFiring(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	tm := e.At(Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	e.Run(Second)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestTimerActive(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.At(Millisecond, func() {})
+	if !tm.Active() {
+		t.Error("pending timer not Active")
+	}
+	e.Run(Second)
+	if tm.Active() {
+		t.Error("fired timer still Active")
+	}
+	tm2 := e.At(Millisecond, func() {})
+	tm2.Stop()
+	if tm2.Active() {
+		t.Error("stopped timer still Active")
+	}
+}
+
+func TestEngineStopHaltsRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i)*Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(Second)
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+}
+
+func TestEngineDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []int64 {
+		e := NewEngine(seed)
+		var out []int64
+		var spawn func()
+		spawn = func() {
+			out = append(out, int64(e.Now())+e.Rand().Int63n(100))
+			if len(out) < 200 {
+				e.After(Time(e.Rand().Int63n(int64(Millisecond))), spawn)
+			}
+		}
+		e.At(0, spawn)
+		e.Run(Second)
+		return out
+	}
+	a, b := run(99), run(99)
+	if len(a) != len(b) {
+		t.Fatalf("runs diverged in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(100)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical runs; RNG not wired through")
+	}
+}
+
+func TestEngineProcessedCount(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 17; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run(Second)
+	if e.Processed() != 17 {
+		t.Errorf("Processed = %d, want 17", e.Processed())
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromDuration(time.Second) != Second {
+		t.Error("FromDuration(1s) != Second")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (3 * Millisecond).Duration() != 3*time.Millisecond {
+		t.Error("Duration conversion wrong")
+	}
+}
+
+// Property: for any set of schedule times, events run sorted and none is lost.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		e := NewEngine(5)
+		var got []Time
+		for _, r := range raw {
+			at := Time(r % uint32(Second))
+			e.At(at, func() { got = append(got, e.Now()) })
+		}
+		e.Drain()
+		if len(got) != len(raw) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineDrainRunsEverything(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	e.At(5*Second, func() { n++; e.After(Second, func() { n++ }) })
+	e.Drain()
+	if n != 2 {
+		t.Errorf("Drain ran %d events, want 2", n)
+	}
+}

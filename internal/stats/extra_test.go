@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoxString(t *testing.T) {
+	b := NewBox([]float64{1, 2, 3, 4, 100})
+	s := b.String()
+	for _, frag := range []string{"min=", "q1=", "med=", "q3=", "max=", "out=1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Box.String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestBoxSingleSample(t *testing.T) {
+	b := NewBox([]float64{7})
+	if b.Min != 7 || b.Median != 7 || b.Max != 7 || b.N != 1 {
+		t.Errorf("single-sample box = %+v", b)
+	}
+}
+
+func TestBoxAllEqual(t *testing.T) {
+	b := NewBox([]float64{5, 5, 5, 5})
+	if b.Min != 5 || b.Q1 != 5 || b.Median != 5 || b.Q3 != 5 || b.Max != 5 {
+		t.Errorf("constant box = %+v", b)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("constant data produced outliers: %v", b.Outliers)
+	}
+}
+
+func TestNewBoxDoesNotMutateInput(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	NewBox(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Error("NewBox mutated its input")
+	}
+}

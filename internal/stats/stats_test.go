@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		give []float64
+		want float64
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "single", give: []float64{5}, want: 5},
+		{name: "several", give: []float64{1, 2, 3, 4}, want: 2.5},
+		{name: "negative", give: []float64{-2, 2}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.give); got != tt.want {
+				t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Errorf("StdDev = %v, want ~2.138", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("StdDev of one sample should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, tt := range tests {
+		if got := Percentile(xs, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile of empty slice should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestNewBoxBasic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := NewBox(xs)
+	if b.Median != 5 {
+		t.Errorf("Median = %v, want 5", b.Median)
+	}
+	if b.Q1 != 3 || b.Q3 != 7 {
+		t.Errorf("Q1,Q3 = %v,%v, want 3,7", b.Q1, b.Q3)
+	}
+	if b.Min != 1 || b.Max != 9 {
+		t.Errorf("whiskers = %v,%v, want 1,9", b.Min, b.Max)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("Outliers = %v, want none", b.Outliers)
+	}
+	if b.N != 9 {
+		t.Errorf("N = %d, want 9", b.N)
+	}
+}
+
+func TestNewBoxOutliers(t *testing.T) {
+	// IQR fences: Q1=2.75, Q3=5.25, IQR=2.5 -> [-1, 9]; 100 is an outlier.
+	xs := []float64{1, 2, 3, 4, 5, 6, 100}
+	b := NewBox(xs)
+	if len(b.Outliers) != 1 || b.Outliers[0] != 100 {
+		t.Errorf("Outliers = %v, want [100]", b.Outliers)
+	}
+	if b.Max != 6 {
+		t.Errorf("upper whisker = %v, want 6 (outlier excluded)", b.Max)
+	}
+}
+
+func TestNewBoxEmpty(t *testing.T) {
+	b := NewBox(nil)
+	if b.N != 0 {
+		t.Error("empty box should have N=0")
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	if got := RelChange(100, 80); got != -0.2 {
+		t.Errorf("RelChange(100,80) = %v, want -0.2", got)
+	}
+	if RelChange(0, 5) != 0 {
+		t.Error("RelChange from 0 should be 0")
+	}
+}
+
+// Property: the box invariant min <= Q1 <= median <= Q3 <= max holds, and
+// outliers lie strictly outside the whiskers.
+func TestBoxInvariantProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		b := NewBox(xs)
+		if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max) {
+			return false
+		}
+		for _, o := range b.Outliers {
+			if o >= b.Min && o <= b.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by the data range.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, pa, pb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		p1, p2 := float64(pa%101), float64(pb%101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		v1, v2 := Percentile(xs, p1), Percentile(xs, p2)
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		return v1 <= v2 && v1 >= sorted[0] && v2 <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r)
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		m := Mean(xs)
+		return m >= lo-1e-9 && m <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+// Package tcp implements the transport machinery both regular TCP and MPTCP
+// subflows run on: a NewReno-style sender state machine (slow start,
+// congestion avoidance, fast retransmit, recovery, RTO with an RFC 6298
+// estimator) and a cumulative-ACK receiver. The congestion-avoidance window
+// evolution is delegated to a core.Algorithm, which is where the paper's
+// algorithms plug in.
+package tcp
+
+import "mptcpsim/internal/sim"
+
+// Config carries the transport parameters shared by all subflows of a
+// connection. The zero value is completed by withDefaults.
+type Config struct {
+	// MSS is the payload bytes per segment.
+	MSS int
+	// HeaderBytes is the per-segment header overhead; MSS+HeaderBytes is
+	// the wire size links serialize.
+	HeaderBytes int
+	// AckBytes is the wire size of a pure ACK.
+	AckBytes int
+
+	// InitialCwnd is the initial congestion window in segments.
+	InitialCwnd float64
+	// MinCwnd is the floor the window never drops below.
+	MinCwnd float64
+
+	// RTOMin and RTOMax clamp the retransmission timeout; RTOInit is used
+	// before the first RTT sample.
+	RTOMin  sim.Time
+	RTOMax  sim.Time
+	RTOInit sim.Time
+
+	// DupAckThreshold triggers fast retransmit (standard 3).
+	DupAckThreshold int
+
+	// DisableHystart turns off the delay-based slow-start exit (a
+	// HyStart-style guard that leaves slow start when RTT samples show the
+	// queue building, preventing the deep overshoot losses classic slow
+	// start causes on big queues).
+	DisableHystart bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MSS == 0 {
+		c.MSS = 1448
+	}
+	if c.HeaderBytes == 0 {
+		c.HeaderBytes = 52
+	}
+	if c.AckBytes == 0 {
+		c.AckBytes = 52
+	}
+	if c.InitialCwnd == 0 {
+		c.InitialCwnd = 10
+	}
+	if c.MinCwnd == 0 {
+		c.MinCwnd = 1
+	}
+	if c.RTOMin == 0 {
+		c.RTOMin = 200 * sim.Millisecond
+	}
+	if c.RTOMax == 0 {
+		c.RTOMax = 60 * sim.Second
+	}
+	if c.RTOInit == 0 {
+		c.RTOInit = sim.Second
+	}
+	if c.DupAckThreshold == 0 {
+		c.DupAckThreshold = 3
+	}
+	return c
+}
+
+// WireSize returns the on-the-wire size of one data segment.
+func (c Config) WireSize() int { return c.MSS + c.HeaderBytes }

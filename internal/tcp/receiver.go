@@ -1,0 +1,74 @@
+package tcp
+
+import (
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+)
+
+// Receiver is the far end of a subflow: it acknowledges every arriving data
+// segment cumulatively, buffers out-of-order arrivals, echoes the sender's
+// timestamp (exact RTT samples), the ECN CE codepoint (for DCTCP) and the
+// accumulated path price (for the extended DTS).
+type Receiver struct {
+	eng *sim.Engine
+	sub *Subflow
+
+	rcvNext int64
+	ooo     map[int64]struct{}
+
+	pktsReceived uint64
+	oooPeak      int
+}
+
+// Received reports the number of data segments that have arrived (including
+// duplicates).
+func (r *Receiver) Received() uint64 { return r.pktsReceived }
+
+// OutOfOrderPeak reports the largest reordering buffer occupancy seen.
+func (r *Receiver) OutOfOrderPeak() int { return r.oooPeak }
+
+// Receive implements netem.Endpoint for data segments.
+func (r *Receiver) Receive(p *netem.Packet) {
+	if p.IsAck {
+		return
+	}
+	r.pktsReceived++
+
+	switch {
+	case p.Seq == r.rcvNext:
+		r.rcvNext++
+		for {
+			if _, ok := r.ooo[r.rcvNext]; !ok {
+				break
+			}
+			delete(r.ooo, r.rcvNext)
+			r.rcvNext++
+		}
+	case p.Seq > r.rcvNext:
+		if r.ooo == nil {
+			r.ooo = make(map[int64]struct{})
+		}
+		r.ooo[p.Seq] = struct{}{}
+		if len(r.ooo) > r.oooPeak {
+			r.oooPeak = len(r.ooo)
+		}
+	default:
+		// Duplicate of already-delivered data; still acknowledged below.
+	}
+
+	ack := netem.NewPacket()
+	ack.Flow = p.Flow
+	ack.Subflow = p.Subflow
+	ack.IsAck = true
+	ack.Ack = r.rcvNext
+	ack.SackSeq = p.Seq
+	ack.Size = r.sub.cfg.AckBytes
+	ack.ECE = p.CE
+	ack.EchoedAt = p.SentAt
+	ack.EchoPrice = p.Price
+	p.Release()
+	ack.SetRoute(r.sub.path.Reverse, r.sub)
+	ack.Send()
+}
+
+var _ netem.Endpoint = (*Receiver)(nil)

@@ -1,0 +1,545 @@
+package tcp
+
+import (
+	"sort"
+
+	"mptcpsim/internal/core"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+)
+
+// Coordinator is the connection-level coordination a subflow needs: access
+// to the shared congestion-control algorithm and the sibling subflows'
+// state, admission of new data (finite transfers, connection-level receive
+// window), and progress notifications.
+type Coordinator interface {
+	// Alg returns the connection's congestion-control algorithm.
+	Alg() core.Algorithm
+	// Views returns the current state of every subflow; index = subflow ID.
+	Views() []core.View
+	// AllowSend reports whether subflow r may put one new segment in
+	// flight (data remains and the connection-level window has room).
+	AllowSend(r int) bool
+	// NoteSend records that subflow r sent one new segment.
+	NoteSend(r int)
+	// NoteAcked records that pkts segments of subflow r were newly acked.
+	NoteAcked(r int, pkts int)
+}
+
+// Stats are cumulative subflow counters.
+type Stats struct {
+	PktsSent    uint64 // new segments (excluding retransmissions)
+	PktsRtx     uint64
+	PktsAcked   uint64
+	LossEvents  uint64 // fast-retransmit episodes
+	Timeouts    uint64
+	RoundTrips  uint64
+	MarkedAcked uint64 // ECE-carrying ACK arrivals
+}
+
+// Subflow is one TCP sender over one path, with selective acknowledgement:
+// the receiver reports each arriving segment, so the sender retransmits
+// exactly the holes (RFC 6675-style pipe accounting) and recovers multiple
+// losses within one round trip, as SACK-enabled kernels do. It implements
+// netem.Endpoint to consume ACKs coming back over the path's reverse
+// direction.
+type Subflow struct {
+	eng   *sim.Engine
+	cfg   Config
+	coord Coordinator
+	id    int
+	flow  uint64
+	path  *netem.Path
+	rx    *Receiver
+
+	cwnd     float64
+	ssthresh float64
+	nextSeq  int64
+	maxSent  int64 // highest nextSeq reached; sends below it are re-sends
+	cumAck   int64
+
+	// sacked holds, sorted, the segments above cumAck the receiver has
+	// reported; retransmitted marks holes already resent this episode;
+	// scanFrom remembers how far the hole scan has progressed, so each
+	// sequence number is examined once per episode rather than once per
+	// ACK (heavy-loss periods would otherwise make recovery quadratic).
+	sacked        []int64
+	retransmitted map[int64]struct{}
+	scanFrom      int64
+
+	inRecovery bool
+	recover    int64
+
+	srtt, rttvar sim.Time
+	rto          sim.Time
+	baseRTT      sim.Time
+	lastRTT      sim.Time
+	hasRTT       bool
+	backoff      uint
+
+	// Lazy retransmission timer: rtoDeadline moves forward on every ACK,
+	// but the engine event only fires at the old deadline and reschedules
+	// itself, so rearming costs no heap operations (the standard
+	// simulator/kernel trick).
+	rtoDeadline sim.Time
+	rtoArmed    bool
+	rtoTickFn   func()
+
+	price    float64
+	roundEnd int64
+
+	stats Stats
+}
+
+// NewSubflow wires a sender over path for subflow id of coordinator coord.
+// The matching receiver is created automatically at the far end.
+func NewSubflow(eng *sim.Engine, cfg Config, coord Coordinator, flow uint64, id int, path *netem.Path) *Subflow {
+	cfg = cfg.withDefaults()
+	s := &Subflow{
+		eng:           eng,
+		cfg:           cfg,
+		coord:         coord,
+		id:            id,
+		flow:          flow,
+		path:          path,
+		cwnd:          cfg.InitialCwnd,
+		ssthresh:      1 << 30,
+		rto:           cfg.RTOInit,
+		retransmitted: make(map[int64]struct{}),
+	}
+	s.rtoTickFn = s.rtoTick
+	s.rx = &Receiver{eng: eng, sub: s}
+	return s
+}
+
+// Start begins transmitting; call once after the connection is assembled.
+func (s *Subflow) Start() { s.trySend() }
+
+// ID returns the subflow index within its connection.
+func (s *Subflow) ID() int { return s.id }
+
+// Path returns the subflow's route.
+func (s *Subflow) Path() *netem.Path { return s.path }
+
+// Stats returns a copy of the subflow's counters.
+func (s *Subflow) Stats() Stats { return s.stats }
+
+// Cwnd returns the current congestion window in segments.
+func (s *Subflow) Cwnd() float64 { return s.cwnd }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Subflow) SRTT() sim.Time { return s.srtt }
+
+// BaseRTT returns the minimum RTT observed so far.
+func (s *Subflow) BaseRTT() sim.Time { return s.baseRTT }
+
+// LastRTT returns the latest RTT sample.
+func (s *Subflow) LastRTT() sim.Time { return s.lastRTT }
+
+// Inflight returns the segments sent and not yet cumulatively acked.
+func (s *Subflow) Inflight() int64 { return s.nextSeq - s.cumAck }
+
+// Outstanding returns the RFC 6675 pipe estimate: sent segments neither
+// cumulatively acked nor selectively acknowledged. Only SACKs below the
+// current send point count — after a post-RTO rewind, stale SACKs above
+// it must not drive the pipe negative.
+func (s *Subflow) Outstanding() int64 {
+	n := sort.Search(len(s.sacked), func(i int) bool { return s.sacked[i] >= s.nextSeq })
+	return s.nextSeq - s.cumAck - int64(n)
+}
+
+// Acked returns the cumulative acknowledged segment count.
+func (s *Subflow) Acked() int64 { return s.cumAck }
+
+// InRecovery reports whether a loss episode is in progress.
+func (s *Subflow) InRecovery() bool { return s.inRecovery }
+
+// View snapshots the subflow state for the congestion-control algorithm.
+func (s *Subflow) View() core.View {
+	srtt := s.srtt
+	if !s.hasRTT {
+		// Before any sample, present the path's unloaded RTT so coupled
+		// algorithms have something sane to divide by.
+		srtt = s.path.BaseRTT(s.cfg.WireSize(), s.cfg.AckBytes)
+	}
+	last := s.lastRTT
+	if last == 0 {
+		last = srtt
+	}
+	base := s.baseRTT
+	if base == 0 {
+		base = srtt
+	}
+	return core.View{
+		Cwnd:        s.cwnd,
+		SSThresh:    s.ssthresh,
+		SRTT:        srtt.Seconds(),
+		LastRTT:     last.Seconds(),
+		BaseRTT:     base.Seconds(),
+		Price:       s.price,
+		InSlowStart: s.cwnd < s.ssthresh,
+	}
+}
+
+// trySend transmits while the congestion window allows: first any rolled-
+// back data below maxSent (retransmissions — already charged to the
+// connection's budget), then new segments as long as the coordinator
+// grants them.
+func (s *Subflow) trySend() {
+	for float64(s.Outstanding()) < s.cwnd {
+		if s.nextSeq < s.maxSent {
+			s.sendSeq(s.nextSeq, true)
+			s.nextSeq++
+			continue
+		}
+		if !s.coord.AllowSend(s.id) {
+			break
+		}
+		s.sendSeq(s.nextSeq, false)
+		s.nextSeq++
+		s.maxSent = s.nextSeq
+		s.stats.PktsSent++
+		s.coord.NoteSend(s.id)
+	}
+	s.ensureRTO()
+}
+
+func (s *Subflow) sendSeq(seq int64, rtx bool) {
+	p := netem.NewPacket()
+	p.Flow = s.flow
+	p.Subflow = s.id
+	p.Seq = seq
+	p.Size = s.cfg.WireSize()
+	p.SentAt = s.eng.Now()
+	p.SetRoute(s.path.Forward, s.rx)
+	p.Send()
+	if rtx {
+		s.stats.PktsRtx++
+	}
+}
+
+// ensureRTO starts the retransmission timer if it is not running (RFC
+// 6298: start on sending data with no timer pending). It never pushes an
+// existing deadline — in particular, duplicate ACKs must not keep a stuck
+// flow's timer from ever firing.
+func (s *Subflow) ensureRTO() {
+	if s.Inflight() <= 0 {
+		s.rtoDeadline = 0
+		return
+	}
+	if s.rtoDeadline != 0 {
+		return
+	}
+	s.setRTODeadline()
+}
+
+// restartRTO re-bases the deadline; called when the cumulative ACK
+// advances (and after a timeout, with backoff applied).
+func (s *Subflow) restartRTO() {
+	if s.Inflight() <= 0 {
+		s.rtoDeadline = 0
+		return
+	}
+	s.setRTODeadline()
+}
+
+func (s *Subflow) setRTODeadline() {
+	d := s.rto << s.backoff
+	if d > s.cfg.RTOMax {
+		d = s.cfg.RTOMax
+	}
+	s.rtoDeadline = s.eng.Now() + d
+	if !s.rtoArmed {
+		s.rtoArmed = true
+		s.eng.Schedule(s.rtoDeadline, s.rtoTickFn)
+	}
+}
+
+// rtoTick fires at a (possibly stale) deadline: if the deadline moved
+// forward since scheduling, chase it; if it was disarmed, stop.
+func (s *Subflow) rtoTick() {
+	s.rtoArmed = false
+	if s.rtoDeadline == 0 || s.Inflight() <= 0 {
+		return
+	}
+	if now := s.eng.Now(); now < s.rtoDeadline {
+		s.rtoArmed = true
+		s.eng.Schedule(s.rtoDeadline, s.rtoTickFn)
+		return
+	}
+	s.onRTO()
+}
+
+func (s *Subflow) onRTO() {
+	if s.Inflight() <= 0 {
+		return
+	}
+	s.stats.Timeouts++
+	s.ssthresh = max2(s.cwnd/2, 2)
+	s.cwnd = s.cfg.MinCwnd
+	s.inRecovery = false
+	if s.backoff < 6 {
+		s.backoff++
+	}
+	// Classic post-RTO behaviour: discard the scoreboard, roll the send
+	// point back to the cumulative ACK and slow-start from there. Without
+	// this, the surviving holes of a mass-loss burst keep inflating the
+	// pipe estimate and recovery crawls at one segment per timeout.
+	// Receiver-buffered runs make the cumulative ACK jump forward, so
+	// little already-delivered data is actually resent.
+	clear(s.retransmitted)
+	s.sacked = s.sacked[:0]
+	s.scanFrom = s.cumAck
+	s.nextSeq = s.cumAck
+	s.trySend()
+	s.restartRTO()
+}
+
+// Receive implements netem.Endpoint for returning ACKs.
+func (s *Subflow) Receive(p *netem.Packet) {
+	if !p.IsAck {
+		p.Release() // a stray data packet addressed to the sender; drop it
+		return
+	}
+	if p.ECE {
+		s.stats.MarkedAcked++
+	}
+	s.noteSack(p.SackSeq)
+	if p.Ack > s.cumAck {
+		s.onNewAck(p)
+	}
+	// Duplicate ACKs carry only the SACK information recorded above.
+	p.Release()
+	s.sackRetransmit()
+	s.trySend()
+}
+
+// noteSack records that segment seq has arrived at the receiver.
+func (s *Subflow) noteSack(seq int64) {
+	if seq < s.cumAck {
+		return
+	}
+	i := sort.Search(len(s.sacked), func(i int) bool { return s.sacked[i] >= seq })
+	if i < len(s.sacked) && s.sacked[i] == seq {
+		return
+	}
+	s.sacked = append(s.sacked, 0)
+	copy(s.sacked[i+1:], s.sacked[i:])
+	s.sacked[i] = seq
+}
+
+// pruneBelow discards SACK and retransmission state below the cumulative
+// acknowledgement.
+func (s *Subflow) pruneBelow(cum int64) {
+	i := sort.Search(len(s.sacked), func(i int) bool { return s.sacked[i] >= cum })
+	if i > 0 {
+		s.sacked = append(s.sacked[:0], s.sacked[i:]...)
+	}
+	for seq := range s.retransmitted {
+		if seq < cum {
+			delete(s.retransmitted, seq)
+		}
+	}
+}
+
+func (s *Subflow) onNewAck(p *netem.Packet) {
+	acked := int(p.Ack - s.cumAck)
+	s.cumAck = p.Ack
+	if s.nextSeq < s.cumAck {
+		// Post-RTO resends can be cumulatively acked past the rolled-back
+		// send point (the receiver had the rest buffered); skip ahead.
+		s.nextSeq = s.cumAck
+		s.maxSent = max64(s.maxSent, s.nextSeq)
+	}
+	s.backoff = 0
+	s.stats.PktsAcked += uint64(acked)
+	s.price = p.EchoPrice
+	s.pruneBelow(s.cumAck)
+
+	s.sampleRTT(s.eng.Now() - p.EchoedAt)
+
+	alg := s.coord.Alg()
+	views := s.coord.Views()
+	if obs, ok := alg.(core.AckObserver); ok {
+		obs.OnAck(views, s.id, acked, p.ECE)
+	}
+
+	if s.inRecovery {
+		if s.cumAck >= s.recover {
+			// Full acknowledgement: leave recovery with the deflated window.
+			s.inRecovery = false
+		}
+	} else {
+		s.grow(acked, views, alg)
+	}
+
+	s.roundTick(views, alg)
+	s.coord.NoteAcked(s.id, acked)
+	s.restartRTO()
+}
+
+// sackRetransmit detects holes with enough SACK evidence above them
+// (DupAckThreshold segments, the RFC 6675 rule with per-segment ACKs) and
+// retransmits each once per episode, within the pipe budget. The first
+// detection of an episode triggers the congestion response.
+func (s *Subflow) sackRetransmit() {
+	if len(s.sacked) < s.cfg.DupAckThreshold {
+		return
+	}
+	// Every hole below lostBound has >= DupAckThreshold sacked segments
+	// above it.
+	lostBound := s.sacked[len(s.sacked)-s.cfg.DupAckThreshold]
+	if s.cumAck >= lostBound {
+		return
+	}
+
+	if !s.inRecovery {
+		s.enterRecovery()
+	}
+
+	// Walk the holes — gaps below sacked[0], then between consecutive
+	// sacked entries, clipped to lostBound — resuming at the scan cursor.
+	// Everything below the cursor was already retransmitted (or received),
+	// so skipping it is sound until an RTO resets the episode.
+	budget := func() bool { return float64(s.Outstanding()) < s.cwnd }
+	h := s.scanFrom
+	if h < s.cumAck {
+		h = s.cumAck
+	}
+	idx := sort.Search(len(s.sacked), func(i int) bool { return s.sacked[i] >= h })
+	for h < lostBound {
+		if idx < len(s.sacked) && h == s.sacked[idx] {
+			h++
+			idx++
+			continue
+		}
+		if _, done := s.retransmitted[h]; !done {
+			if !budget() {
+				break
+			}
+			s.retransmitted[h] = struct{}{}
+			s.sendSeq(h, true)
+		}
+		h++
+	}
+	s.scanFrom = h
+	s.ensureRTO()
+}
+
+func (s *Subflow) enterRecovery() {
+	s.stats.LossEvents++
+	alg := s.coord.Alg()
+	views := s.coord.Views()
+	if obs, ok := alg.(core.LossObserver); ok {
+		obs.OnLoss(views, s.id)
+	}
+	newCwnd := max2(alg.Decrease(views, s.id), s.cfg.MinCwnd)
+	s.ssthresh = max2(newCwnd, 2)
+	s.cwnd = newCwnd
+	s.inRecovery = true
+	s.recover = s.nextSeq
+}
+
+func (s *Subflow) grow(acked int, views []core.View, alg core.Algorithm) {
+	// Congestion-window validation (RFC 7661): only grow when the window
+	// was actually the binding constraint. A receive-window- or
+	// application-limited flow must not inflate cwnd it never uses.
+	if float64(s.Inflight()+int64(acked)) < s.cwnd-1 {
+		return
+	}
+	if s.cwnd < s.ssthresh {
+		if !s.cfg.DisableHystart && s.delaySignal() {
+			// HyStart-style exit: the RTT samples show queue build-up, so
+			// stop doubling before overshooting into heavy loss.
+			s.ssthresh = s.cwnd
+		} else {
+			// Slow start: one segment per acked segment, not beyond ssthresh.
+			s.cwnd += float64(acked)
+			if s.cwnd > s.ssthresh {
+				s.cwnd = s.ssthresh
+			}
+			return
+		}
+	}
+	s.cwnd += alg.Increase(views, s.id) * float64(acked)
+	if s.cwnd < s.cfg.MinCwnd {
+		s.cwnd = s.cfg.MinCwnd
+	}
+}
+
+// delaySignal reports whether the latest RTT sample shows enough queueing
+// delay over the path floor to justify leaving slow start (the HyStart
+// delay-increase heuristic: an eighth of the base RTT, clamped to
+// [4 ms, 16 ms]).
+func (s *Subflow) delaySignal() bool {
+	if !s.hasRTT || s.baseRTT == 0 {
+		return false
+	}
+	thresh := s.baseRTT / 8
+	if thresh < 4*sim.Millisecond {
+		thresh = 4 * sim.Millisecond
+	}
+	if thresh > 16*sim.Millisecond {
+		thresh = 16 * sim.Millisecond
+	}
+	return s.lastRTT >= s.baseRTT+thresh
+}
+
+func (s *Subflow) roundTick(views []core.View, alg core.Algorithm) {
+	if s.cumAck < s.roundEnd {
+		return
+	}
+	s.roundEnd = s.nextSeq
+	s.stats.RoundTrips++
+	if rt, ok := alg.(core.RoundTuner); ok {
+		cwnd, ssthresh := rt.OnRound(views, s.id)
+		s.cwnd = max2(cwnd, s.cfg.MinCwnd)
+		s.ssthresh = max2(ssthresh, 2)
+	}
+}
+
+func (s *Subflow) sampleRTT(rtt sim.Time) {
+	if rtt <= 0 {
+		return
+	}
+	s.lastRTT = rtt
+	if s.baseRTT == 0 || rtt < s.baseRTT {
+		s.baseRTT = rtt
+	}
+	if !s.hasRTT {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		s.hasRTT = true
+	} else {
+		diff := s.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.cfg.RTOMin {
+		rto = s.cfg.RTOMin
+	}
+	if rto > s.cfg.RTOMax {
+		rto = s.cfg.RTOMax
+	}
+	s.rto = rto
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ netem.Endpoint = (*Subflow)(nil)

@@ -1,0 +1,79 @@
+// Package topo builds the network scenarios of the paper's evaluation:
+// the two-bottleneck sharing scenario (Fig. 5a), the two-path traffic-
+// shifting scenario (Fig. 5b), the EC2 VPC (Fig. 10), the three datacenter
+// topologies FatTree, VL2 and BCube (Fig. 11-16), and the heterogeneous
+// wireless WiFi+4G scenario (Fig. 17).
+//
+// Builders wire netem.Links between integer node IDs and enumerate
+// multipath routes between hosts as netem.Paths ready for mptcp.New.
+package topo
+
+import (
+	"fmt"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+)
+
+// graph tracks directed links between node IDs, creating each once.
+type graph struct {
+	eng   *sim.Engine
+	links map[[2]int32]*netem.Link
+}
+
+func newGraph(eng *sim.Engine) *graph {
+	return &graph{eng: eng, links: make(map[[2]int32]*netem.Link)}
+}
+
+// biLink creates both directions of an edge with the same configuration.
+func (g *graph) biLink(a, b int32, cfg netem.LinkConfig) {
+	g.dirLink(a, b, cfg)
+	g.dirLink(b, a, cfg)
+}
+
+func (g *graph) dirLink(from, to int32, cfg netem.LinkConfig) {
+	key := [2]int32{from, to}
+	if _, ok := g.links[key]; ok {
+		return
+	}
+	cfg.Name = fmt.Sprintf("%s:%d->%d", cfg.Name, from, to)
+	g.links[key] = netem.NewLink(g.eng, cfg)
+}
+
+// chain resolves the directed links along a node sequence; it panics on a
+// missing edge, which is always a builder bug.
+func (g *graph) chain(nodes ...int32) []*netem.Link {
+	out := make([]*netem.Link, 0, len(nodes)-1)
+	for i := 0; i+1 < len(nodes); i++ {
+		l, ok := g.links[[2]int32{nodes[i], nodes[i+1]}]
+		if !ok {
+			panic(fmt.Sprintf("topo: no link %d->%d", nodes[i], nodes[i+1]))
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// path builds a bidirectional netem.Path along a node sequence, using the
+// reversed sequence for ACKs.
+func (g *graph) path(name string, nodes ...int32) *netem.Path {
+	rev := make([]int32, len(nodes))
+	for i, n := range nodes {
+		rev[len(nodes)-1-i] = n
+	}
+	return &netem.Path{
+		Name:    name,
+		Forward: g.chain(nodes...),
+		Reverse: g.chain(rev...),
+	}
+}
+
+// Links returns every link in the network (for counters and utilization
+// sweeps).
+func (g *graph) Links() []*netem.Link {
+	out := make([]*netem.Link, 0, len(g.links))
+	for _, l := range g.links {
+		out = append(out, l)
+	}
+	return out
+}

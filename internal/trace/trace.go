@@ -1,0 +1,112 @@
+// Package trace provides light-weight time-series recording and rate
+// estimation for simulation runs.
+package trace
+
+import (
+	"mptcpsim/internal/sim"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// Series records (time, value) samples, e.g. cwnd, throughput or power over
+// a run.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t sim.Time, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Values returns just the sampled values, in order.
+func (s *Series) Values() []float64 {
+	vs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vs[i] = p.V
+	}
+	return vs
+}
+
+// Mean returns the time-unweighted mean of the samples (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Last returns the most recent sample value (0 when empty).
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// RateMeter turns a running byte count into a throughput estimate. A sampler
+// (the energy meter) calls Sample periodically; the meter reports the rate
+// over the elapsed window and keeps an EWMA for smoothing.
+type RateMeter struct {
+	eng *sim.Engine
+
+	bytes      uint64 // since last sample
+	totalBytes uint64
+	lastSample sim.Time
+	ewma       float64
+	alpha      float64
+	hasSample  bool
+}
+
+// NewRateMeter creates a meter with EWMA smoothing factor alpha in (0, 1];
+// alpha of 1 disables smoothing.
+func NewRateMeter(eng *sim.Engine, alpha float64) *RateMeter {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 1
+	}
+	return &RateMeter{eng: eng, alpha: alpha, lastSample: eng.Now()}
+}
+
+// Count records bytes transferred at the current instant.
+func (m *RateMeter) Count(bytes int) {
+	m.bytes += uint64(bytes)
+	m.totalBytes += uint64(bytes)
+}
+
+// TotalBytes reports all bytes ever counted.
+func (m *RateMeter) TotalBytes() uint64 { return m.totalBytes }
+
+// Sample closes the current window and returns the smoothed rate in bits per
+// second. Calling it twice at the same instant returns the previous estimate.
+func (m *RateMeter) Sample() float64 {
+	now := m.eng.Now()
+	dt := now - m.lastSample
+	if dt <= 0 {
+		return m.ewma
+	}
+	inst := float64(m.bytes) * 8 * float64(sim.Second) / float64(dt)
+	m.bytes = 0
+	m.lastSample = now
+	if !m.hasSample {
+		m.ewma = inst
+		m.hasSample = true
+	} else {
+		m.ewma = m.alpha*inst + (1-m.alpha)*m.ewma
+	}
+	return m.ewma
+}
+
+// Rate returns the current smoothed estimate without closing the window.
+func (m *RateMeter) Rate() float64 { return m.ewma }

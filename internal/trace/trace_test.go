@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"mptcpsim/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	s.Add(sim.Second, 1)
+	s.Add(2*sim.Second, 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Mean() != 2 {
+		t.Errorf("Mean = %v, want 2", s.Mean())
+	}
+	if s.Last() != 3 {
+		t.Errorf("Last = %v, want 3", s.Last())
+	}
+	if vs := s.Values(); len(vs) != 2 || vs[0] != 1 || vs[1] != 3 {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Last() != 0 || s.Len() != 0 {
+		t.Error("empty series should report zeros")
+	}
+}
+
+func TestRateMeterExactRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewRateMeter(eng, 1) // no smoothing
+	// 1250 bytes over 1 ms = 10 Mb/s.
+	eng.At(sim.Millisecond, func() {
+		m.Count(1250)
+		if got := m.Sample(); math.Abs(got-10e6) > 1 {
+			t.Errorf("rate = %v, want 10e6", got)
+		}
+	})
+	eng.Drain()
+	if m.TotalBytes() != 1250 {
+		t.Errorf("TotalBytes = %d, want 1250", m.TotalBytes())
+	}
+}
+
+func TestRateMeterZeroWindow(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewRateMeter(eng, 1)
+	eng.At(sim.Millisecond, func() {
+		m.Count(1250)
+		first := m.Sample()
+		second := m.Sample() // same instant: returns previous estimate
+		if first != second {
+			t.Errorf("same-instant Sample changed estimate: %v vs %v", first, second)
+		}
+	})
+	eng.Drain()
+}
+
+func TestRateMeterEWMA(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewRateMeter(eng, 0.5)
+	eng.At(sim.Millisecond, func() {
+		m.Count(1250) // 10 Mb/s window
+		m.Sample()    // first sample seeds the EWMA
+	})
+	eng.At(2*sim.Millisecond, func() {
+		// idle window: instantaneous 0, EWMA halves.
+		if got := m.Sample(); math.Abs(got-5e6) > 1 {
+			t.Errorf("EWMA after idle window = %v, want 5e6", got)
+		}
+	})
+	eng.Drain()
+}
+
+func TestRateMeterBadAlphaDefaultsToOne(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := NewRateMeter(eng, -3)
+	eng.At(sim.Millisecond, func() {
+		m.Count(125)
+		if got := m.Sample(); math.Abs(got-1e6) > 1 {
+			t.Errorf("rate = %v, want 1e6 with alpha clamped to 1", got)
+		}
+	})
+	eng.Drain()
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+)
+
+func testLink(eng *sim.Engine, rate int64) *netem.Link {
+	return netem.NewLink(eng, netem.LinkConfig{
+		Name: "w", Rate: rate, Delay: sim.Millisecond, QueueLimit: 1000,
+	})
+}
+
+func TestCBRRate(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := testLink(eng, netem.Gbps)
+	c := NewCBR(eng, []*netem.Link{l}, 12*netem.Mbps, 1500)
+	c.Start()
+	eng.Run(10 * sim.Second)
+	// 12 Mb/s for 10 s = 15 MB = 10000 packets of 1500 B.
+	if got := c.Sent(); got < 9990 || got > 10010 {
+		t.Errorf("sent %d packets, want ~10000", got)
+	}
+	if c.Delivered() < c.Sent()-5 {
+		t.Errorf("delivered %d of %d on an uncongested link", c.Delivered(), c.Sent())
+	}
+}
+
+func TestCBRStop(t *testing.T) {
+	eng := sim.NewEngine(1)
+	l := testLink(eng, netem.Gbps)
+	c := NewCBR(eng, []*netem.Link{l}, 10*netem.Mbps, 1500)
+	c.Start()
+	eng.At(sim.Second, c.Stop)
+	eng.Run(10 * sim.Second)
+	want := uint64(10e6) / (1500 * 8)
+	if got := c.Sent(); got > want+2 {
+		t.Errorf("sent %d packets after Stop at 1 s, want <= ~%d", got, want)
+	}
+}
+
+func TestParetoOnOffDutyCycle(t *testing.T) {
+	eng := sim.NewEngine(42)
+	l := testLink(eng, netem.Gbps)
+	p := NewParetoOnOff(eng, []*netem.Link{l}, ParetoConfig{
+		RateBps: 45 * netem.Mbps,
+		MeanOff: 10 * sim.Second,
+		MeanOn:  5 * sim.Second,
+	})
+	p.Start()
+	const horizon = 2000 * sim.Second
+	eng.Run(horizon)
+
+	// Expected duty cycle 5/(10+5) = 1/3. Pareto(1.5) has infinite
+	// variance, so accept a wide band over this horizon.
+	duty := float64(p.OnTime()) / float64(horizon)
+	if duty < 0.15 || duty > 0.6 {
+		t.Errorf("duty cycle %.2f, want around 1/3", duty)
+	}
+	// Rate during bursts should be ~45 Mb/s: sent bytes / on-time.
+	rate := float64(p.Sent()) * 1500 * 8 / p.OnTime().Seconds()
+	if math.Abs(rate-45e6) > 2e6 {
+		t.Errorf("burst rate %.1f Mb/s, want 45", rate/1e6)
+	}
+}
+
+func TestParetoOnOffStops(t *testing.T) {
+	eng := sim.NewEngine(7)
+	l := testLink(eng, netem.Gbps)
+	p := NewParetoOnOff(eng, []*netem.Link{l}, ParetoConfig{})
+	p.Start()
+	eng.At(30*sim.Second, p.Stop)
+	eng.Run(60 * sim.Second)
+	at30 := p.Sent()
+	eng.Run(200 * sim.Second)
+	if p.Sent() != at30 {
+		t.Errorf("generator kept sending after Stop: %d -> %d", at30, p.Sent())
+	}
+}
+
+func TestParetoDurationMean(t *testing.T) {
+	eng := sim.NewEngine(3)
+	p := NewParetoOnOff(eng, nil, ParetoConfig{MeanOn: 5 * sim.Second, Shape: 2.5})
+	// Shape 2.5 has finite variance; the sample mean should approach 5 s.
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += p.paretoDuration().Seconds()
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.5 {
+		t.Errorf("Pareto sample mean %.2f s, want ~5 s", mean)
+	}
+}
+
+func TestExpDurationMean(t *testing.T) {
+	eng := sim.NewEngine(3)
+	p := NewParetoOnOff(eng, nil, ParetoConfig{})
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += p.expDuration(10 * sim.Second).Seconds()
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.5 {
+		t.Errorf("exponential sample mean %.2f s, want ~10 s", mean)
+	}
+}
+
+func TestPermutationProperty(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		n := int(size%60) + 2
+		eng := sim.NewEngine(seed)
+		perm := Permutation(eng, n)
+		if len(perm) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for i, v := range perm {
+			if v == i || v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermutationTrivialSizes(t *testing.T) {
+	eng := sim.NewEngine(1)
+	if Permutation(eng, 1) != nil {
+		t.Error("Permutation(1) should be nil (no non-self mapping exists)")
+	}
+	if got := Permutation(eng, 2); len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Errorf("Permutation(2) = %v, want [1 0]", got)
+	}
+}
+
+func TestSinkCounts(t *testing.T) {
+	var s Sink
+	s.Receive(&netem.Packet{Size: 100})
+	s.Receive(&netem.Packet{Size: 200})
+	if s.Pkts != 2 || s.Bytes != 300 {
+		t.Errorf("sink counted %d pkts %d bytes, want 2/300", s.Pkts, s.Bytes)
+	}
+}

@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test bench experiments full clean
+.PHONY: all build vet test race bench experiments full clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ vet:
 
 test:
 	$(GO) test ./... 2>&1 | tee test_output.txt
+
+# -short skips the heavyweight single-threaded figure runners in
+# internal/exp (no goroutines there; under the race detector they take
+# hours while exercising no concurrency).
+race:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

@@ -4,6 +4,7 @@
 //	mptcp-sim -topo twopath -alg dts -duration 60s
 //	mptcp-sim -topo fattree -alg lia -subflows 8 -hosts 16
 //	mptcp-sim -topo hetwireless -alg dts-lia -cross
+//	mptcp-sim -topo twopath -alg lia -bytes 20000000 -fault "path1:down@2s,up@5s"
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 
 	"mptcpsim/internal/core"
 	"mptcpsim/internal/energy"
+	"mptcpsim/internal/faults"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
@@ -41,6 +43,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		cross    = fs.Bool("cross", false, "add Pareto bursty cross traffic (twopath/hetwireless)")
 		rwnd     = fs.Int64("rwnd", 0, "connection receive window in segments (0 = unlimited)")
+		fault    = fs.String("fault", "", `fault schedule, e.g. "path1:down@2s,up@5s;path0:flap@1s+6s/500ms" (see internal/faults)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +53,19 @@ func run(args []string) error {
 	paths, crossLinks, err := buildScenario(eng, *topoName, *subflows, *hosts)
 	if err != nil {
 		return err
+	}
+	if *fault != "" {
+		pfs, err := faults.Parse(*fault)
+		if err != nil {
+			return err
+		}
+		for _, pf := range pfs {
+			p, err := faults.Resolve(pf.Target, paths)
+			if err != nil {
+				return err
+			}
+			faults.Apply(eng, p, pf.Faults...)
+		}
 	}
 	if *cross {
 		for _, l := range crossLinks {
@@ -86,11 +102,21 @@ func run(args []string) error {
 	fmt.Printf("goodput: %.2f Mb/s (%.1f MB acked)\n",
 		conn.MeanThroughputBps()/1e6, float64(conn.AckedBytes())/(1<<20))
 	fmt.Printf("energy:  %.1f J (mean %.2f W)\n", meter.Joules(), meter.MeanPower())
+	if reinj := conn.ReinjectedSegs(); reinj > 0 {
+		fmt.Printf("failover: %d segments re-injected onto surviving subflows\n", reinj)
+	}
 	for _, s := range conn.Subflows() {
 		st := s.Stats()
-		fmt.Printf("  subflow %d %-12s cwnd=%6.1f srtt=%-12v acked=%-8d loss=%-4d rtx=%-5d timeouts=%d\n",
-			s.ID(), s.Path().Name, s.Cwnd(), s.SRTT().Duration(), s.Acked(),
-			st.LossEvents, st.PktsRtx, st.Timeouts)
+		fmt.Printf("  subflow %d %-12s %-8s cwnd=%6.1f srtt=%-12v acked=%-8d loss=%-4d rtx=%-5d timeouts=%d fails=%d probes=%d revivals=%d\n",
+			s.ID(), s.Path().Name, s.State(), s.Cwnd(), s.SRTT().Duration(), s.Acked(),
+			st.LossEvents, st.PktsRtx, st.Timeouts, st.Fails, st.Probes, st.Revivals)
+		if tl := s.Transitions(); tl.Len() > 0 {
+			fmt.Printf("    transitions:")
+			for _, e := range tl.Events {
+				fmt.Printf(" %s@%.3fs", e.Label, e.T.Seconds())
+			}
+			fmt.Println()
+		}
 	}
 	return nil
 }

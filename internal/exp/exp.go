@@ -154,6 +154,7 @@ var experiments = []Experiment{
 	{ID: "fig15", Title: "Extended DTS energy saving in FatTree/VL2", Run: Fig15},
 	{ID: "fig16", Title: "Aggregated throughput of DTS vs LIA in FatTree/VL2", Run: Fig16},
 	{ID: "fig17", Title: "Heterogeneous wireless: DTS/DTS-EP vs LIA", Run: Fig17},
+	{ID: "faults", Title: "Robustness: path outage, flapping and WiFi handover", Run: FigFaults},
 	{ID: "abl-c", Title: "Ablation: DTS constant c", Run: AblationC},
 	{ID: "abl-kappa", Title: "Ablation: Eq. 9 price weight kappa", Run: AblationKappa},
 	{ID: "abl-hystart", Title: "Ablation: slow-start delay guard", Run: AblationHystart},

@@ -10,6 +10,19 @@ import (
 // horizons, single repetitions.
 var tiny = Config{Seed: 1, Scale: 0.05, Reps: 1}
 
+// skipIfShort skips the heavyweight figure runners in -short mode. The
+// runners are single-threaded simulation loops with no goroutines, so the
+// race detector's ~20x slowdown buys nothing there and turns the suite
+// into hours; `make race` and CI run `go test -race -short ./...` and get
+// their race coverage from the transport packages (and the faults suite,
+// which stays enabled).
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("figure runner skipped in -short mode")
+	}
+}
+
 // cell parses a numeric table cell.
 func cell(t *testing.T, res *Result, row int, col string) float64 {
 	t.Helper()
@@ -54,8 +67,8 @@ func findRow(t *testing.T, res *Result, prefix ...string) int {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	if got := len(All()); got != 20 {
-		t.Errorf("registered %d experiments, want 16 figures + 4 ablations", got)
+	if got := len(All()); got != 21 {
+		t.Errorf("registered %d experiments, want 16 figures + 4 ablations + faults suite", got)
 	}
 	for _, id := range IDs() {
 		if _, ok := Lookup(id); !ok {
@@ -77,6 +90,7 @@ func TestResultRendering(t *testing.T) {
 }
 
 func TestFig1PowerGrowsWithSubflows(t *testing.T) {
+	skipIfShort(t)
 	res := Fig1(tiny)
 	if len(res.Rows) != 5 {
 		t.Fatalf("fig1 has %d rows, want 5", len(res.Rows))
@@ -93,6 +107,7 @@ func TestFig1PowerGrowsWithSubflows(t *testing.T) {
 }
 
 func TestFig2MPTCPCostsMoreOnHandset(t *testing.T) {
+	skipIfShort(t)
 	res := Fig2(tiny)
 	wifi := cell(t, res, findRow(t, res, "tcp-wifi"), "power_w")
 	lte := cell(t, res, findRow(t, res, "tcp-lte"), "power_w")
@@ -103,6 +118,7 @@ func TestFig2MPTCPCostsMoreOnHandset(t *testing.T) {
 }
 
 func TestFig3aEnergyFallsPowerFlat(t *testing.T) {
+	skipIfShort(t)
 	res := Fig3a(tiny)
 	e200 := cell(t, res, 0, "energy_j")
 	e1000 := cell(t, res, len(res.Rows)-1, "energy_j")
@@ -118,6 +134,7 @@ func TestFig3aEnergyFallsPowerFlat(t *testing.T) {
 }
 
 func TestFig3bPowerRisesSharply(t *testing.T) {
+	skipIfShort(t)
 	res := Fig3b(tiny)
 	p10 := cell(t, res, 0, "power_w")
 	p50 := cell(t, res, len(res.Rows)-1, "power_w")
@@ -133,6 +150,7 @@ func TestFig3bPowerRisesSharply(t *testing.T) {
 }
 
 func TestFig4PowerGrowsWithRTT(t *testing.T) {
+	skipIfShort(t)
 	res := Fig4(tiny)
 	rtt1 := cell(t, res, 0, "mean_rtt_ms")
 	rtt3 := cell(t, res, len(res.Rows)-1, "mean_rtt_ms")
@@ -153,6 +171,7 @@ func TestFig4PowerGrowsWithRTT(t *testing.T) {
 }
 
 func TestFig6BoxesOrdered(t *testing.T) {
+	skipIfShort(t)
 	res := Fig6(tiny)
 	if len(res.Rows) != 4*4 {
 		t.Fatalf("fig6 has %d rows, want 16", len(res.Rows))
@@ -173,6 +192,7 @@ func TestFig6BoxesOrdered(t *testing.T) {
 }
 
 func TestFig7AllAlgorithmsProduceRows(t *testing.T) {
+	skipIfShort(t)
 	res := Fig7(tiny)
 	if len(res.Rows) != len(fig7Algorithms) {
 		t.Fatalf("fig7 has %d rows, want %d", len(res.Rows), len(fig7Algorithms))
@@ -188,6 +208,7 @@ func TestFig7AllAlgorithmsProduceRows(t *testing.T) {
 }
 
 func TestFig8TraceShape(t *testing.T) {
+	skipIfShort(t)
 	res := Fig8(tiny)
 	if len(res.Rows) != 20 {
 		t.Fatalf("fig8 has %d rows, want 2 algs x 10 samples", len(res.Rows))
@@ -205,6 +226,7 @@ func TestFig8TraceShape(t *testing.T) {
 }
 
 func TestFig9DTSSavesEnergy(t *testing.T) {
+	skipIfShort(t)
 	res := Fig9(Config{Seed: 1, Scale: 0.3, Reps: 3})
 	liaRow := findRow(t, res, "lia")
 	if s := cell(t, res, liaRow, "saving_vs_lia_pct"); s != 0 {
@@ -231,6 +253,7 @@ func TestFig9DTSSavesEnergy(t *testing.T) {
 }
 
 func TestFig10MultipathSavesEnergy(t *testing.T) {
+	skipIfShort(t)
 	res := Fig10(tiny)
 	reno := cell(t, res, findRow(t, res, "reno"), "aggregate_j")
 	lia := cell(t, res, findRow(t, res, "lia"), "aggregate_j")
@@ -249,6 +272,7 @@ func TestFig10MultipathSavesEnergy(t *testing.T) {
 }
 
 func TestFig12BCubeOverheadDecreases(t *testing.T) {
+	skipIfShort(t)
 	// BCube's multi-NIC gain needs a cube with 3 NICs per host; scale 0.3
 	// builds BCube(3,2) (27 hosts) rather than the minimal (3,1).
 	res := Fig12(Config{Seed: 1, Scale: 0.3, Reps: 1})
@@ -260,6 +284,7 @@ func TestFig12BCubeOverheadDecreases(t *testing.T) {
 }
 
 func TestFig13FatTreeNoBigSaving(t *testing.T) {
+	skipIfShort(t)
 	res := Fig13(tiny)
 	one := cell(t, res, findRow(t, res, "1"), "j_per_gbit")
 	eight := cell(t, res, findRow(t, res, "8"), "j_per_gbit")
@@ -270,6 +295,7 @@ func TestFig13FatTreeNoBigSaving(t *testing.T) {
 }
 
 func TestFig14VL2NoBigSaving(t *testing.T) {
+	skipIfShort(t)
 	res := Fig14(tiny)
 	one := cell(t, res, findRow(t, res, "1"), "j_per_gbit")
 	eight := cell(t, res, findRow(t, res, "8"), "j_per_gbit")
@@ -279,6 +305,7 @@ func TestFig14VL2NoBigSaving(t *testing.T) {
 }
 
 func TestFig15ExtendedDTSSaves(t *testing.T) {
+	skipIfShort(t)
 	res := Fig15(tiny)
 	for _, kind := range []string{"fattree", "vl2"} {
 		saving := cell(t, res, findRow(t, res, kind, "dtsep-lia"), "saving_vs_lia_pct")
@@ -289,6 +316,7 @@ func TestFig15ExtendedDTSSaves(t *testing.T) {
 }
 
 func TestFig16ThroughputComparable(t *testing.T) {
+	skipIfShort(t)
 	res := Fig16(tiny)
 	for _, kind := range []string{"fattree", "vl2"} {
 		diff := cell(t, res, findRow(t, res, kind, "dts-lia"), "vs_lia_pct")
@@ -299,6 +327,7 @@ func TestFig16ThroughputComparable(t *testing.T) {
 }
 
 func TestAblationCRows(t *testing.T) {
+	skipIfShort(t)
 	res := AblationC(tiny)
 	if len(res.Rows) != 4 {
 		t.Fatalf("got %d rows, want 4", len(res.Rows))
@@ -320,6 +349,7 @@ func TestAblationCRows(t *testing.T) {
 }
 
 func TestAblationKappaTradeoff(t *testing.T) {
+	skipIfShort(t)
 	res := AblationKappa(tiny)
 	if len(res.Rows) != 4 {
 		t.Fatalf("got %d rows, want 4", len(res.Rows))
@@ -334,6 +364,7 @@ func TestAblationKappaTradeoff(t *testing.T) {
 }
 
 func TestAblationHystartReducesLoss(t *testing.T) {
+	skipIfShort(t)
 	res := AblationHystart(tiny)
 	on := cell(t, res, findRow(t, res, "true"), "rtx")
 	off := cell(t, res, findRow(t, res, "false"), "rtx")
@@ -343,6 +374,7 @@ func TestAblationHystartReducesLoss(t *testing.T) {
 }
 
 func TestAblationPathselTradeoff(t *testing.T) {
+	skipIfShort(t)
 	res := AblationPathsel(tiny)
 	liaT := cell(t, res, findRow(t, res, "lia"), "throughput_mbps")
 	selT := cell(t, res, findRow(t, res, "lia+selector"), "throughput_mbps")
@@ -356,7 +388,40 @@ func TestAblationPathselTradeoff(t *testing.T) {
 	}
 }
 
+func TestFigFaultsTransfersComplete(t *testing.T) {
+	res := FigFaults(tiny)
+	if len(res.Rows) != 3*8 {
+		t.Fatalf("faults has %d rows, want 3 scenarios x 8 algorithms", len(res.Rows))
+	}
+	horizon := 15.0 // tiny scale clamps at the 15 s floor
+	for i, row := range res.Rows {
+		completed := cell(t, res, i, "completed_s")
+		if completed <= 0 || completed >= horizon {
+			t.Errorf("%s/%s: completed_s = %.2f; transfer must finish despite the fault (horizon %.0f s)",
+				row[0], row[1], completed, horizon)
+		}
+		if g := cell(t, res, i, "goodput_mbps"); g <= 0 {
+			t.Errorf("%s/%s: zero goodput", row[0], row[1])
+		}
+		if j := cell(t, res, i, "j_per_gbit"); j <= 0 {
+			t.Errorf("%s/%s: zero energy", row[0], row[1])
+		}
+	}
+	// The outage schedule must actually trigger failover for at least some
+	// algorithms (path1 is dead for a third of the horizon).
+	totalReinj := 0.0
+	for i, row := range res.Rows {
+		if row[0] == "outage" {
+			totalReinj += cell(t, res, i, "reinj_segs")
+		}
+	}
+	if totalReinj == 0 {
+		t.Error("no algorithm re-injected any segments under the outage scenario")
+	}
+}
+
 func TestFig17DTSSavesOnHandset(t *testing.T) {
+	skipIfShort(t)
 	res := Fig17(Config{Seed: 1, Scale: 0.3, Reps: 2})
 	dts := cell(t, res, findRow(t, res, "dts"), "energy_saving_vs_lia_pct")
 	dtsep := cell(t, res, findRow(t, res, "dtsep"), "energy_saving_vs_lia_pct")

@@ -65,6 +65,19 @@ type Conn struct {
 
 	disabled []bool // per-subflow gates (path-selection baselines)
 
+	// Failover bookkeeping. When a subflow declares its path dead it hands
+	// back its unacked segments: sentSegs is decremented by that amount
+	// (the re-injection — surviving subflows may now send that much more
+	// new data) and the same amount is recorded as the dead subflow's
+	// reinjectCredit. Acks later arriving on that subflow (its probes, or
+	// its go-back-N resends after revival) are discounted against the
+	// remaining credit before they count toward ackedSegs or goodput, so
+	// a segment delivered both by the revived subflow and by a re-injected
+	// copy is never counted twice.
+	failed         []bool
+	reinjectCredit []int64
+	reinjectedSegs int64
+
 	goodput *trace.RateMeter
 	views   []core.View
 }
@@ -75,16 +88,21 @@ func New(eng *sim.Engine, cfg Config, flowID uint64, paths ...*netem.Path) (*Con
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("mptcp: connection needs at least one path")
 	}
+	if cfg.TransferBytes > 0 && cfg.AppLimited {
+		return nil, fmt.Errorf("mptcp: Config.TransferBytes and Config.AppLimited are mutually exclusive; use TransferBytes for a fixed-size transfer or AppLimited with Produce for a streaming source")
+	}
 	alg, err := core.New(cfg.Algorithm)
 	if err != nil {
 		return nil, err
 	}
 	c := &Conn{
-		eng:     eng,
-		cfg:     cfg,
-		alg:     alg,
-		goodput: trace.NewRateMeter(eng, 1),
-		views:   make([]core.View, len(paths)),
+		eng:            eng,
+		cfg:            cfg,
+		alg:            alg,
+		goodput:        trace.NewRateMeter(eng, 1),
+		views:          make([]core.View, len(paths)),
+		failed:         make([]bool, len(paths)),
+		reinjectCredit: make([]int64, len(paths)),
 	}
 	mss := cfg.Transport.MSS
 	if mss == 0 {
@@ -145,6 +163,9 @@ func (c *Conn) AllowSend(r int) bool {
 	if c.disabled != nil && c.disabled[r] {
 		return false
 	}
+	if c.failed[r] {
+		return false
+	}
 	return true
 }
 
@@ -170,14 +191,28 @@ func (c *Conn) SubflowEnabled(r int) bool {
 // distinct application segments handed to subflows.
 func (c *Conn) NoteSend(r int) { c.sentSegs++ }
 
-// NoteAcked implements tcp.Coordinator.
+// NoteAcked implements tcp.Coordinator. Acks on a subflow carrying
+// re-injection credit are discounted against it first (see the failover
+// fields): those segments were handed back to the connection when the
+// subflow failed, so counting them again would double-book delivery.
 func (c *Conn) NoteAcked(r int, pkts int) {
-	c.ackedSegs += int64(pkts)
+	counted := int64(pkts)
+	if disc := c.reinjectCredit[r]; disc > 0 {
+		if disc > counted {
+			disc = counted
+		}
+		c.reinjectCredit[r] -= disc
+		counted -= disc
+	}
+	if counted <= 0 {
+		return
+	}
+	c.ackedSegs += counted
 	mss := c.cfg.Transport.MSS
 	if mss == 0 {
 		mss = 1448
 	}
-	c.goodput.Count(pkts * mss)
+	c.goodput.Count(int(counted) * mss)
 	if !c.done && c.totalSegs > 0 && c.ackedSegs >= c.totalSegs {
 		c.done = true
 		c.completedAt = c.eng.Now()
@@ -186,6 +221,42 @@ func (c *Conn) NoteAcked(r int, pkts int) {
 		}
 	}
 }
+
+// NoteFailed implements tcp.Coordinator: subflow r declared its path dead
+// with unacked segments outstanding. The connection takes that data back —
+// sentSegs drops so surviving subflows may send it afresh — and records the
+// matching ack discount. A subflow that failed before with credit still
+// unconsumed is only charged the delta, keeping the credit equal to the
+// frozen range even across repeated fail/revive cycles.
+func (c *Conn) NoteFailed(r int, unacked int64) {
+	c.failed[r] = true
+	newCredit := unacked - c.reinjectCredit[r]
+	if newCredit < 0 {
+		newCredit = 0
+	}
+	c.sentSegs -= newCredit
+	c.reinjectCredit[r] += newCredit
+	c.reinjectedSegs += newCredit
+	// Kick the survivors: the freed budget is theirs to claim right now.
+	for i, s := range c.subs {
+		if i != r && !c.failed[i] {
+			s.Start()
+		}
+	}
+}
+
+// NoteRevived implements tcp.Coordinator: subflow r's path healed and the
+// subflow is back in service (it restarts itself; we only lift the gate).
+func (c *Conn) NoteRevived(r int) {
+	c.failed[r] = false
+}
+
+// SubflowFailed reports whether subflow r is currently marked dead.
+func (c *Conn) SubflowFailed(r int) bool { return c.failed[r] }
+
+// ReinjectedSegs reports the total segments handed back by failing
+// subflows for re-injection on survivors over the connection's lifetime.
+func (c *Conn) ReinjectedSegs() int64 { return c.reinjectedSegs }
 
 func (c *Conn) inflight() int64 {
 	var sum int64

@@ -35,6 +35,12 @@ type LinkConfig struct {
 	// modelling a lossy (e.g. wireless) medium. Zero disables it.
 	LossProb float64
 
+	// FlushOnDown controls what happens to queued packets when the link is
+	// taken down (SetDown): false lets the queue drain onto the wire (a
+	// scheduled outage that stops admitting new traffic), true discards the
+	// queue immediately (a cut cable / radio loss).
+	FlushOnDown bool
+
 	// PriceRho and PriceGamma configure the per-link energy price that data
 	// packets accumulate in transit: rho + gamma*max(0, qlen-PriceQTarget).
 	// The paper's U_ep (Eq. 6) charges this only on switch-to-switch links,
@@ -53,6 +59,7 @@ type Link struct {
 
 	queue []*Packet
 	busy  bool
+	down  bool
 
 	txDoneFn func() // cached method value for the hot path
 
@@ -60,6 +67,7 @@ type Link struct {
 	delivered   uint64
 	dropped     uint64
 	randDropped uint64
+	outageDrops uint64
 	bytesOut    uint64
 	busyTime    sim.Time
 	lastTxStart sim.Time
@@ -102,6 +110,80 @@ func (l *Link) Dropped() uint64 { return l.dropped }
 
 // RandDropped reports packets lost to the random-loss model.
 func (l *Link) RandDropped() uint64 { return l.randDropped }
+
+// OutageDropped reports packets lost to link-down periods: arrivals while
+// down, plus flushed queue contents when FlushOnDown is set.
+func (l *Link) OutageDropped() uint64 { return l.outageDrops }
+
+// LossProb returns the current random-loss probability.
+func (l *Link) LossProb() float64 { return l.cfg.LossProb }
+
+// Down reports whether the link is administratively down.
+func (l *Link) Down() bool { return l.down }
+
+// SetDown takes the link down: arriving packets are dropped (counted in
+// OutageDropped) until SetUp. Already-queued packets drain onto the wire
+// unless the link was configured with FlushOnDown, in which case they are
+// discarded immediately (the packet mid-serialization is discarded when its
+// serialization completes — it never reaches the far end).
+func (l *Link) SetDown() {
+	if l.down {
+		return
+	}
+	l.down = true
+	if l.cfg.FlushOnDown {
+		keep := 0
+		if l.busy {
+			keep = 1 // head is mid-serialization; txDone discards it
+		}
+		for _, p := range l.queue[keep:] {
+			l.outageDrops++
+			p.Release()
+		}
+		l.queue = l.queue[:keep]
+	}
+}
+
+// SetUp brings the link back up and resumes serving whatever survived the
+// outage.
+func (l *Link) SetUp() {
+	if !l.down {
+		return
+	}
+	l.down = false
+	if !l.busy && len(l.queue) > 0 {
+		l.startTx()
+	}
+}
+
+// SetRate changes the line rate. Packets already in serialization finish at
+// the old rate; subsequent packets serialize at the new one.
+func (l *Link) SetRate(rate int64) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("netem: link %q rate set to non-positive %d", l.cfg.Name, rate))
+	}
+	l.cfg.Rate = rate
+}
+
+// SetDelay changes the one-way propagation delay for packets that finish
+// serialization after the call.
+func (l *Link) SetDelay(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	l.cfg.Delay = d
+}
+
+// SetLossProb changes the random-loss probability for subsequent arrivals.
+func (l *Link) SetLossProb(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	l.cfg.LossProb = p
+}
 
 // BytesDelivered reports the payload bytes fully forwarded.
 func (l *Link) BytesDelivered() uint64 { return l.bytesOut }
@@ -149,6 +231,11 @@ func (l *Link) Price() float64 {
 // the random-loss model fires. Admitted packets may be ECN-marked and
 // accumulate the link's energy price.
 func (l *Link) Enqueue(p *Packet) {
+	if l.down {
+		l.outageDrops++
+		p.Release()
+		return
+	}
 	if l.cfg.LossProb > 0 && l.eng.Rand().Float64() < l.cfg.LossProb {
 		l.randDropped++
 		p.Release()
@@ -181,10 +268,16 @@ func (l *Link) startTx() {
 func (l *Link) txDone() {
 	p := l.queue[0]
 	l.queue = l.queue[1:]
-	l.delivered++
-	l.bytesOut += uint64(p.Size)
 	l.busyTime += l.eng.Now() - l.lastTxStart
-	l.eng.ScheduleAfter(l.cfg.Delay, p.fwd())
+	if l.down && l.cfg.FlushOnDown {
+		// The link was cut mid-serialization: the packet never made it.
+		l.outageDrops++
+		p.Release()
+	} else {
+		l.delivered++
+		l.bytesOut += uint64(p.Size)
+		l.eng.ScheduleAfter(l.cfg.Delay, p.fwd())
+	}
 	if len(l.queue) > 0 {
 		l.startTx()
 	} else {

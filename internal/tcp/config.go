@@ -38,6 +38,20 @@ type Config struct {
 	// queue building, preventing the deep overshoot losses classic slow
 	// start causes on big queues).
 	DisableHystart bool
+
+	// FailTimeouts is the number of consecutive RTO episodes (no cumulative
+	// ACK progress in between) after which the subflow declares its path
+	// dead, freezes, and hands its unacked data back to the connection for
+	// re-injection on surviving subflows. Default 3.
+	FailTimeouts int
+	// DisableFailover keeps a subflow retransmitting forever instead of
+	// declaring failure, restoring pre-failover behaviour (useful for
+	// single-path runs and RTO-focused tests).
+	DisableFailover bool
+	// ProbeInterval is the initial spacing of the probe segments a dead
+	// subflow sends to discover that its path healed; it doubles after
+	// every unanswered probe, clamped at RTOMax. Default 1s.
+	ProbeInterval sim.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +81,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DupAckThreshold == 0 {
 		c.DupAckThreshold = 3
+	}
+	if c.FailTimeouts == 0 {
+		c.FailTimeouts = 3
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = sim.Second
 	}
 	return c
 }

@@ -6,6 +6,7 @@ import (
 	"mptcpsim/internal/core"
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
+	"mptcpsim/internal/trace"
 )
 
 // Coordinator is the connection-level coordination a subflow needs: access
@@ -24,6 +25,40 @@ type Coordinator interface {
 	NoteSend(r int)
 	// NoteAcked records that pkts segments of subflow r were newly acked.
 	NoteAcked(r int, pkts int)
+	// NoteFailed records that subflow r declared its path dead with unacked
+	// segments still outstanding; the connection re-injects that much data
+	// onto surviving subflows.
+	NoteFailed(r int, unacked int64)
+	// NoteRevived records that subflow r's path healed and it resumed.
+	NoteRevived(r int)
+}
+
+// State is the failover state of a subflow.
+type State int
+
+const (
+	// StateActive is normal operation.
+	StateActive State = iota
+	// StateDead means the path failed (FailTimeouts consecutive RTO
+	// episodes with no cumulative-ACK progress); the subflow is frozen and
+	// its unacked data has been handed back for re-injection.
+	StateDead
+	// StateProbing means the subflow is dead but has begun sending
+	// exponentially backed-off probe retransmissions to detect healing.
+	StateProbing
+)
+
+// String returns the lower-case state name.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDead:
+		return "dead"
+	case StateProbing:
+		return "probing"
+	}
+	return "unknown"
 }
 
 // Stats are cumulative subflow counters.
@@ -35,6 +70,9 @@ type Stats struct {
 	Timeouts    uint64
 	RoundTrips  uint64
 	MarkedAcked uint64 // ECE-carrying ACK arrivals
+	Fails       uint64 // path-failure declarations (K consecutive RTOs)
+	Probes      uint64 // probe segments sent while dead
+	Revivals    uint64 // dead → active transitions
 }
 
 // Subflow is one TCP sender over one path, with selective acknowledgement:
@@ -85,6 +123,15 @@ type Subflow struct {
 	rtoArmed    bool
 	rtoTickFn   func()
 
+	// Failover: consecRTO counts RTO episodes since the last cumulative-ACK
+	// advance; at cfg.FailTimeouts the subflow freezes (state leaves
+	// StateActive) and probes the path at probeIval, doubling up to RTOMax.
+	state       State
+	consecRTO   int
+	probeIval   sim.Time
+	probeTickFn func()
+	transitions trace.Timeline
+
 	price    float64
 	roundEnd int64
 
@@ -108,6 +155,7 @@ func NewSubflow(eng *sim.Engine, cfg Config, coord Coordinator, flow uint64, id 
 		retransmitted: make(map[int64]struct{}),
 	}
 	s.rtoTickFn = s.rtoTick
+	s.probeTickFn = s.probeTick
 	s.rx = &Receiver{eng: eng, sub: s}
 	return s
 }
@@ -154,6 +202,13 @@ func (s *Subflow) Acked() int64 { return s.cumAck }
 // InRecovery reports whether a loss episode is in progress.
 func (s *Subflow) InRecovery() bool { return s.inRecovery }
 
+// State returns the failover state (active, dead or probing).
+func (s *Subflow) State() State { return s.state }
+
+// Transitions returns the recorded failover state changes, in order. The
+// timeline is empty for a subflow that never failed.
+func (s *Subflow) Transitions() *trace.Timeline { return &s.transitions }
+
 // View snapshots the subflow state for the congestion-control algorithm.
 func (s *Subflow) View() core.View {
 	srtt := s.srtt
@@ -186,6 +241,9 @@ func (s *Subflow) View() core.View {
 // connection's budget), then new segments as long as the coordinator
 // grants them.
 func (s *Subflow) trySend() {
+	if s.state != StateActive {
+		return
+	}
 	for float64(s.Outstanding()) < s.cwnd {
 		if s.nextSeq < s.maxSent {
 			s.sendSeq(s.nextSeq, true)
@@ -245,7 +303,9 @@ func (s *Subflow) restartRTO() {
 
 func (s *Subflow) setRTODeadline() {
 	d := s.rto << s.backoff
-	if d > s.cfg.RTOMax {
+	if d > s.cfg.RTOMax || d < s.rto {
+		// Clamp the exponential backoff (and guard the shift against
+		// overflow, which would make d negative).
 		d = s.cfg.RTOMax
 	}
 	s.rtoDeadline = s.eng.Now() + d
@@ -259,7 +319,7 @@ func (s *Subflow) setRTODeadline() {
 // forward since scheduling, chase it; if it was disarmed, stop.
 func (s *Subflow) rtoTick() {
 	s.rtoArmed = false
-	if s.rtoDeadline == 0 || s.Inflight() <= 0 {
+	if s.state != StateActive || s.rtoDeadline == 0 || s.Inflight() <= 0 {
 		return
 	}
 	if now := s.eng.Now(); now < s.rtoDeadline {
@@ -275,6 +335,11 @@ func (s *Subflow) onRTO() {
 		return
 	}
 	s.stats.Timeouts++
+	s.consecRTO++
+	if !s.cfg.DisableFailover && s.consecRTO >= s.cfg.FailTimeouts {
+		s.fail()
+		return
+	}
 	s.ssthresh = max2(s.cwnd/2, 2)
 	s.cwnd = s.cfg.MinCwnd
 	s.inRecovery = false
@@ -295,6 +360,73 @@ func (s *Subflow) onRTO() {
 	s.restartRTO()
 }
 
+// fail declares the path dead after cfg.FailTimeouts back-to-back RTO
+// episodes: freeze the window, disarm the retransmission timer, roll the
+// send point back to the cumulative ACK, hand the unacked range to the
+// connection for re-injection elsewhere, and start probing for recovery.
+func (s *Subflow) fail() {
+	unacked := s.maxSent - s.cumAck
+	s.state = StateDead
+	s.stats.Fails++
+	s.transitions.Add(s.eng.Now(), "dead")
+	s.rtoDeadline = 0
+	s.inRecovery = false
+	clear(s.retransmitted)
+	s.sacked = s.sacked[:0]
+	s.scanFrom = s.cumAck
+	// Rewind so the frozen range no longer counts as inflight; the
+	// connection stops budgeting receive window for it, matching the
+	// re-injection credit it is about to get back.
+	s.nextSeq = s.cumAck
+	s.ssthresh = max2(s.cwnd/2, 2)
+	s.cwnd = s.cfg.MinCwnd
+	s.probeIval = s.cfg.ProbeInterval
+	s.eng.ScheduleAfter(s.probeIval, s.probeTickFn)
+	// Notify last: the coordinator may immediately push the freed budget
+	// onto sibling subflows.
+	s.coord.NoteFailed(s.id, unacked)
+}
+
+// probeTick sends one probe — a retransmission of the first unacked
+// segment — and reschedules itself with the interval doubled, clamped at
+// RTOMax. The receiver's cumulative ACK always covers at least this
+// segment's hole state, so any delivered probe draws an ACK that advances
+// (or re-states) the cumulative ACK; an advance revives the subflow.
+func (s *Subflow) probeTick() {
+	if s.state == StateActive {
+		return
+	}
+	if s.state == StateDead {
+		s.state = StateProbing
+		s.transitions.Add(s.eng.Now(), "probing")
+	}
+	s.stats.Probes++
+	s.sendSeq(s.cumAck, true)
+	s.probeIval *= 2
+	if s.probeIval > s.cfg.RTOMax {
+		s.probeIval = s.cfg.RTOMax
+	}
+	s.eng.ScheduleAfter(s.probeIval, s.probeTickFn)
+}
+
+// revive returns a dead subflow to service after an ACK proved the path
+// carries traffic again: restart from the (just advanced) cumulative ACK
+// with a minimal window, slow-starting like a fresh flow.
+func (s *Subflow) revive() {
+	s.state = StateActive
+	s.stats.Revivals++
+	s.transitions.Add(s.eng.Now(), "active")
+	s.inRecovery = false
+	clear(s.retransmitted)
+	s.sacked = s.sacked[:0]
+	s.scanFrom = s.cumAck
+	s.nextSeq = s.cumAck
+	s.cwnd = s.cfg.MinCwnd
+	s.coord.NoteRevived(s.id)
+	s.trySend()
+	s.restartRTO()
+}
+
 // Receive implements netem.Endpoint for returning ACKs.
 func (s *Subflow) Receive(p *netem.Packet) {
 	if !p.IsAck {
@@ -310,6 +442,11 @@ func (s *Subflow) Receive(p *netem.Packet) {
 	}
 	// Duplicate ACKs carry only the SACK information recorded above.
 	p.Release()
+	if s.state != StateActive {
+		// Still dead: a duplicate ACK (e.g. a straggler or an unanswered
+		// probe's echo) is not proof of a healed path.
+		return
+	}
 	s.sackRetransmit()
 	s.trySend()
 }
@@ -352,11 +489,21 @@ func (s *Subflow) onNewAck(p *netem.Packet) {
 		s.maxSent = max64(s.maxSent, s.nextSeq)
 	}
 	s.backoff = 0
+	s.consecRTO = 0
 	s.stats.PktsAcked += uint64(acked)
 	s.price = p.EchoPrice
 	s.pruneBelow(s.cumAck)
 
 	s.sampleRTT(s.eng.Now() - p.EchoedAt)
+
+	if s.state != StateActive {
+		// The cumulative ACK moved while the subflow was dead: the path
+		// answered (usually to a probe). Credit the connection before
+		// reviving so the restarted sender sees the freed budget.
+		s.coord.NoteAcked(s.id, acked)
+		s.revive()
+		return
+	}
 
 	alg := s.coord.Alg()
 	views := s.coord.Views()

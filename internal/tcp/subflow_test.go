@@ -33,6 +33,10 @@ func (c *stubCoord) NoteSend(int) {
 
 func (c *stubCoord) NoteAcked(_ int, pkts int) { c.acked += int64(pkts) }
 
+func (c *stubCoord) NoteFailed(int, int64) {}
+
+func (c *stubCoord) NoteRevived(int) {}
+
 func newTestSubflow(eng *sim.Engine, rate int64, delay sim.Time, qlimit int, budget int64) (*Subflow, *stubCoord, *netem.Path) {
 	fwd := netem.NewLink(eng, netem.LinkConfig{Name: "f", Rate: rate, Delay: delay, QueueLimit: qlimit})
 	rev := netem.NewLink(eng, netem.LinkConfig{Name: "r", Rate: rate, Delay: delay, QueueLimit: qlimit})
@@ -101,6 +105,81 @@ func TestSubflowRecoversFromTotalBlackout(t *testing.T) {
 	}
 	if coord.acked != 0 {
 		t.Errorf("acked %d segments through a dead link", coord.acked)
+	}
+}
+
+func TestRTOBackoffClampedAtMax(t *testing.T) {
+	// Regression: the doubled RTO must clamp at RTOMax across many
+	// consecutive timeouts, and stats.Timeouts must count each episode
+	// exactly once. With RTOInit=1s (no RTT samples ever arrive through a
+	// fully black path) and RTOMax=2s, episodes land at t=1,3,5,...,29 —
+	// exactly 15 in 30 s. Unclamped doubling would give only 4 (1,3,7,15)
+	// and double-counting would give far more.
+	eng := sim.NewEngine(1)
+	fwd := netem.NewLink(eng, netem.LinkConfig{Name: "f", Rate: 10 * netem.Mbps, Delay: 5 * sim.Millisecond, LossProb: 1})
+	rev := netem.NewLink(eng, netem.LinkConfig{Name: "r", Rate: 10 * netem.Mbps, Delay: 5 * sim.Millisecond})
+	p := &netem.Path{Name: "p", Forward: []*netem.Link{fwd}, Reverse: []*netem.Link{rev}}
+	coord := &stubCoord{alg: core.NewReno(), remaining: -1}
+	s := NewSubflow(eng, Config{RTOMax: 2 * sim.Second, DisableFailover: true}, coord, 1, 0, p)
+	coord.sub = s
+	s.Start()
+	eng.Run(30 * sim.Second)
+	if got := s.Stats().Timeouts; got != 15 {
+		t.Errorf("Timeouts = %d over 30 s with RTOMax=2s, want exactly 15", got)
+	}
+	if s.State() != StateActive {
+		t.Errorf("state = %v with DisableFailover, want active", s.State())
+	}
+}
+
+func TestSubflowFailsAfterKTimeoutsAndRevives(t *testing.T) {
+	// Black out the forward direction; the subflow must declare failure
+	// after exactly FailTimeouts RTO episodes, switch to backed-off
+	// probing, and revive once the path heals.
+	eng := sim.NewEngine(1)
+	fwd := netem.NewLink(eng, netem.LinkConfig{Name: "f", Rate: 10 * netem.Mbps, Delay: 5 * sim.Millisecond, LossProb: 1})
+	rev := netem.NewLink(eng, netem.LinkConfig{Name: "r", Rate: 10 * netem.Mbps, Delay: 5 * sim.Millisecond})
+	p := &netem.Path{Name: "p", Forward: []*netem.Link{fwd}, Reverse: []*netem.Link{rev}}
+	coord := &stubCoord{alg: core.NewReno(), remaining: -1}
+	s := NewSubflow(eng, Config{}, coord, 1, 0, p)
+	coord.sub = s
+	s.Start()
+
+	// Defaults: RTOInit=1s, so episodes at t=1,3,7 and failure at t=7.
+	eng.Run(7500 * sim.Millisecond)
+	st := s.Stats()
+	if st.Timeouts != 3 || st.Fails != 1 {
+		t.Fatalf("Timeouts=%d Fails=%d at t=7.5s, want 3 and 1", st.Timeouts, st.Fails)
+	}
+	if s.State() == StateActive {
+		t.Fatal("subflow still active after FailTimeouts consecutive RTOs")
+	}
+	if s.Inflight() != 0 {
+		t.Errorf("Inflight = %d while dead, want 0 (send point rewound)", s.Inflight())
+	}
+
+	// Probes at t=8,10,14,... Heal at t=11: the t=14 probe gets through.
+	eng.Schedule(11*sim.Second, func() { fwd.SetLossProb(0) })
+	eng.Run(20 * sim.Second)
+	st = s.Stats()
+	if st.Probes < 2 {
+		t.Errorf("Probes = %d, want >= 2 (t=8 and t=10 at least)", st.Probes)
+	}
+	if st.Revivals != 1 || s.State() != StateActive {
+		t.Fatalf("Revivals=%d state=%v after heal, want 1 and active", st.Revivals, s.State())
+	}
+	if coord.acked == 0 {
+		t.Error("no segments acked after revival")
+	}
+	tl := s.Transitions()
+	if tl.Len() < 3 {
+		t.Fatalf("transitions = %v, want dead→probing→active", tl.Events)
+	}
+	want := []string{"dead", "probing", "active"}
+	for i, w := range want {
+		if tl.Events[i].Label != w {
+			t.Errorf("transition %d = %q, want %q", i, tl.Events[i].Label, w)
+		}
 	}
 }
 

@@ -56,6 +56,26 @@ func (s *Series) Last() float64 {
 	return s.Points[len(s.Points)-1].V
 }
 
+// Event is one labelled instant on a Timeline.
+type Event struct {
+	T     sim.Time
+	Label string
+}
+
+// Timeline records labelled state transitions over a run — e.g. a subflow
+// going active → dead → probing → active as its path fails and heals.
+type Timeline struct {
+	Events []Event
+}
+
+// Add appends an event.
+func (tl *Timeline) Add(t sim.Time, label string) {
+	tl.Events = append(tl.Events, Event{T: t, Label: label})
+}
+
+// Len reports the number of recorded events.
+func (tl *Timeline) Len() int { return len(tl.Events) }
+
 // RateMeter turns a running byte count into a throughput estimate. A sampler
 // (the energy meter) calls Sample periodically; the meter reports the rate
 // over the elapsed window and keeps an EWMA for smoothing.

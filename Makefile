@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench experiments full clean
+.PHONY: all build vet test race bench bench-engine experiments full clean
 
 all: build vet test race
 
@@ -13,14 +13,18 @@ vet:
 test:
 	$(GO) test ./... 2>&1 | tee test_output.txt
 
-# -short skips the heavyweight single-threaded figure runners in
-# internal/exp (no goroutines there; under the race detector they take
-# hours while exercising no concurrency).
+# -short skips the heaviest figure runners in internal/exp (hours under
+# the race detector); the worker-pool and determinism-across-worker-count
+# tests stay enabled so the concurrent paths are race-checked.
 race:
 	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Engine microbenchmarks only: must report 0 allocs/op.
+bench-engine:
+	$(GO) test ./internal/sim/ -run '^$$' -bench Engine -benchtime 200ms
 
 # Refresh the recorded tables in EXPERIMENTS.md (scale 0.15, seed 1).
 experiments:

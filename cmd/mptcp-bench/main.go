@@ -3,20 +3,27 @@
 //
 // Usage:
 //
-//	mptcp-bench [-exp figN[,figM...]] [-scale 0.3] [-seed 1] [-reps 0] [-full]
+//	mptcp-bench [-exp figN[,figM...]] [-scale 0.3] [-seed 1] [-reps 0] [-full] [-j 8]
 //
 // -full sets scale to 1.0 (the published parameters); the default scale
-// keeps the whole suite fast enough for a laptop.
+// keeps the whole suite fast enough for a laptop. -j controls how many
+// simulation runs execute concurrently (tables are byte-identical for any
+// value). -cpuprofile/-memprofile write pprof profiles, and -json records
+// per-experiment wall-clock and event throughput to BENCH_<timestamp>.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"mptcpsim/internal/exp"
+	"mptcpsim/internal/runner"
 )
 
 func main() {
@@ -26,16 +33,43 @@ func main() {
 	}
 }
 
+// benchRecord is one experiment's row in the -json report.
+type benchRecord struct {
+	Experiment   string  `json:"experiment"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchReport is the whole -json document, with enough metadata to compare
+// reports across machines and commits.
+type benchReport struct {
+	Timestamp    string        `json:"timestamp"`
+	GoVersion    string        `json:"go_version"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	Workers      int           `json:"workers"`
+	Scale        float64       `json:"scale"`
+	Seed         int64         `json:"seed"`
+	Reps         int           `json:"reps"`
+	Experiments  []benchRecord `json:"experiments"`
+	TotalWallSec float64       `json:"total_wall_seconds"`
+	TotalEvents  uint64        `json:"total_events"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("mptcp-bench", flag.ContinueOnError)
 	var (
-		expFlag  = fs.String("exp", "all", "comma-separated experiment IDs (see -list) or 'all'")
-		scale    = fs.Float64("scale", 0.25, "scale factor in (0,1]: users, sizes and horizons")
-		seed     = fs.Int64("seed", 1, "random seed")
-		reps     = fs.Int("reps", 0, "override repetition count (0 = scaled default)")
-		full     = fs.Bool("full", false, "run at the published scale (same as -scale 1)")
-		list     = fs.Bool("list", false, "list experiment IDs and exit")
-		markdown = fs.Bool("markdown", false, "wrap each table in a fenced block for EXPERIMENTS.md")
+		expFlag    = fs.String("exp", "all", "comma-separated experiment IDs (see -list) or 'all'")
+		scale      = fs.Float64("scale", 0.25, "scale factor in (0,1]: users, sizes and horizons")
+		seed       = fs.Int64("seed", 1, "random seed")
+		reps       = fs.Int("reps", 0, "override repetition count (0 = scaled default)")
+		full       = fs.Bool("full", false, "run at the published scale (same as -scale 1)")
+		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		markdown   = fs.Bool("markdown", false, "wrap each table in a fenced block for EXPERIMENTS.md")
+		workers    = fs.Int("j", runner.DefaultWorkers(), "concurrent simulation runs (results are identical for any value)")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		jsonOut    = fs.Bool("json", false, "write per-experiment timing and event counts to BENCH_<timestamp>.json")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,7 +83,19 @@ func run(args []string) error {
 	if *full {
 		*scale = 1
 	}
-	cfg := exp.Config{Seed: *seed, Scale: *scale, Reps: *reps}
+	cfg := exp.Config{Seed: *seed, Scale: *scale, Reps: *reps, Workers: *workers}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var selected []exp.Experiment
 	if *expFlag == "all" {
@@ -63,15 +109,59 @@ func run(args []string) error {
 			selected = append(selected, e)
 		}
 	}
+
+	report := benchReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		Scale:      *scale,
+		Seed:       *seed,
+		Reps:       *reps,
+	}
+	suiteStart := time.Now()
 	for _, e := range selected {
 		start := time.Now()
 		res := e.Run(cfg)
+		wall := time.Since(start).Seconds()
 		if *markdown {
 			fmt.Printf("### %s — %s\n\n```\n%s```\n\n", res.ID, e.Title, res)
 		} else {
 			fmt.Println(res)
-			fmt.Printf("(%s took %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+			fmt.Printf("(%s took %.1fs)\n\n", e.ID, wall)
 		}
+		rec := benchRecord{Experiment: e.ID, WallSeconds: wall, Events: res.Events}
+		if wall > 0 {
+			rec.EventsPerSec = float64(res.Events) / wall
+		}
+		report.Experiments = append(report.Experiments, rec)
+		report.TotalEvents += res.Events
+	}
+	report.TotalWallSec = time.Since(suiteStart).Seconds()
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+
+	if *jsonOut {
+		name := fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("20060102T150405Z"))
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments, %.1fs, %d events)\n",
+			name, len(report.Experiments), report.TotalWallSec, report.TotalEvents)
 	}
 	return nil
 }

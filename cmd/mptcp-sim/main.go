@@ -5,6 +5,7 @@
 //	mptcp-sim -topo fattree -alg lia -subflows 8 -hosts 16
 //	mptcp-sim -topo hetwireless -alg dts-lia -cross
 //	mptcp-sim -topo twopath -alg lia -bytes 20000000 -fault "path1:down@2s,up@5s"
+//	mptcp-sim -topo twopath -alg dts -runs 8 -j 4   # 8 seeds, 4 at a time
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"mptcpsim/internal/faults"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
+	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
 	"mptcpsim/internal/topo"
 	"mptcpsim/internal/workload"
@@ -29,6 +31,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mptcp-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// scenario carries every knob one simulation run needs, so repeated runs
+// differ only in their seed.
+type scenario struct {
+	topo     string
+	alg      string
+	subflows int
+	hosts    int
+	duration time.Duration
+	transfer int64
+	cross    bool
+	rwnd     int64
+	fault    string
+}
+
+// runResult summarises one completed run for the multi-run table.
+type runResult struct {
+	seed       int64
+	simSecs    float64
+	wallSecs   float64
+	events     uint64
+	goodputBps float64
+	acked      uint64
+	joules     float64
+	meanPower  float64
+	reinj      int64
+	err        error
 }
 
 func run(args []string) error {
@@ -44,30 +74,66 @@ func run(args []string) error {
 		cross    = fs.Bool("cross", false, "add Pareto bursty cross traffic (twopath/hetwireless)")
 		rwnd     = fs.Int64("rwnd", 0, "connection receive window in segments (0 = unlimited)")
 		fault    = fs.String("fault", "", `fault schedule, e.g. "path1:down@2s,up@5s;path0:flap@1s+6s/500ms" (see internal/faults)`)
+		runs     = fs.Int("runs", 1, "independent runs with seeds seed..seed+runs-1")
+		workers  = fs.Int("j", runner.DefaultWorkers(), "concurrent runs when -runs > 1")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	eng := sim.NewEngine(*seed)
-	paths, crossLinks, err := buildScenario(eng, *topoName, *subflows, *hosts)
-	if err != nil {
-		return err
+	sc := scenario{
+		topo: *topoName, alg: *alg, subflows: *subflows, hosts: *hosts,
+		duration: *duration, transfer: *transfer, cross: *cross,
+		rwnd: *rwnd, fault: *fault,
 	}
-	if *fault != "" {
-		pfs, err := faults.Parse(*fault)
+
+	if *runs <= 1 {
+		return runOne(sc, *seed)
+	}
+
+	results := runner.Map(*workers, *runs, func(i int) runResult {
+		return runQuiet(sc, *seed+int64(i))
+	})
+	fmt.Printf("%-6s %12s %10s %12s %10s %10s %8s\n",
+		"seed", "goodput_mbps", "acked_mb", "energy_j", "mean_w", "events", "wall_s")
+	var sumGoodput, sumJoules float64
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		fmt.Printf("%-6d %12.2f %10.1f %12.1f %10.2f %10d %8.2f\n",
+			r.seed, r.goodputBps/1e6, float64(r.acked)/(1<<20),
+			r.joules, r.meanPower, r.events, r.wallSecs)
+		sumGoodput += r.goodputBps
+		sumJoules += r.joules
+	}
+	n := float64(len(results))
+	fmt.Printf("mean over %d runs: goodput %.2f Mb/s, energy %.1f J\n",
+		len(results), sumGoodput/n/1e6, sumJoules/n)
+	return nil
+}
+
+// setup wires the scenario onto a fresh engine and returns the connection
+// and energy meter; it is the shared front half of runOne and runQuiet.
+func setup(eng *sim.Engine, sc scenario) (*mptcp.Conn, *energy.Meter, error) {
+	paths, crossLinks, err := buildScenario(eng, sc.topo, sc.subflows, sc.hosts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sc.fault != "" {
+		pfs, err := faults.Parse(sc.fault)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		for _, pf := range pfs {
 			p, err := faults.Resolve(pf.Target, paths)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
 			faults.Apply(eng, p, pf.Faults...)
 		}
 	}
-	if *cross {
+	if sc.cross {
 		for _, l := range crossLinks {
 			workload.NewParetoOnOff(eng, []*netem.Link{l}, workload.ParetoConfig{
 				RateBps: l.Rate() * 9 / 10,
@@ -76,16 +142,55 @@ func run(args []string) error {
 	}
 
 	conn, err := mptcp.New(eng, mptcp.Config{
-		Algorithm:     *alg,
-		TransferBytes: *transfer,
-		RwndSegments:  *rwnd,
+		Algorithm:     sc.alg,
+		TransferBytes: sc.transfer,
+		RwndSegments:  sc.rwnd,
 	}, 1, paths...)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	meter := energy.NewMeter(eng, energy.NewI7(), energy.ConnProbe(conn), 0)
 	meter.Start()
-	if *transfer > 0 {
+	return conn, meter, nil
+}
+
+// runQuiet executes one run and returns only the summary, for -runs > 1.
+func runQuiet(sc scenario, seed int64) runResult {
+	eng := sim.NewEngine(seed)
+	conn, meter, err := setup(eng, sc)
+	if err != nil {
+		return runResult{seed: seed, err: err}
+	}
+	if sc.transfer > 0 {
+		conn.OnComplete = func(sim.Time) {
+			meter.Stop()
+			eng.Stop()
+		}
+	}
+	start := time.Now()
+	conn.Start()
+	eng.Run(sim.FromDuration(sc.duration))
+	return runResult{
+		seed:       seed,
+		simSecs:    eng.Now().Seconds(),
+		wallSecs:   time.Since(start).Seconds(),
+		events:     eng.Processed(),
+		goodputBps: conn.MeanThroughputBps(),
+		acked:      conn.AckedBytes(),
+		joules:     meter.Joules(),
+		meanPower:  meter.MeanPower(),
+		reinj:      conn.ReinjectedSegs(),
+	}
+}
+
+// runOne executes a single run with the full per-subflow report.
+func runOne(sc scenario, seed int64) error {
+	eng := sim.NewEngine(seed)
+	conn, meter, err := setup(eng, sc)
+	if err != nil {
+		return err
+	}
+	if sc.transfer > 0 {
 		conn.OnComplete = func(at sim.Time) {
 			fmt.Printf("transfer completed at %.3fs\n", at.Seconds())
 			meter.Stop()
@@ -95,7 +200,7 @@ func run(args []string) error {
 
 	start := time.Now()
 	conn.Start()
-	eng.Run(sim.FromDuration(*duration))
+	eng.Run(sim.FromDuration(sc.duration))
 
 	fmt.Printf("simulated %.1fs in %.2fs wall (%d events)\n",
 		eng.Now().Seconds(), time.Since(start).Seconds(), eng.Processed())

@@ -26,8 +26,10 @@ func tcpConfigHystart(disable bool) tcp.Config {
 }
 
 // shiftRunWith runs the Fig. 5b scenario with an explicit algorithm
-// instance (for parameterized variants outside the registry).
-func shiftRunWith(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, joules float64) {
+// instance (for parameterized variants outside the registry). Algorithm
+// instances carry per-run state, so callers running on the pool must
+// construct a fresh instance per run.
+func shiftRunWith(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	tp := topo.NewTwoPath(eng, topo.TwoPathConfig{Rate: 50 * netem.Mbps})
 	for i := 0; i < 2; i++ {
@@ -38,7 +40,7 @@ func shiftRunWith(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, jo
 	meter := meterFor(eng, energy.NewI7(), conn)
 	conn.Start()
 	eng.Run(horizon)
-	return conn.MeanThroughputBps(), meter.Joules()
+	return conn.MeanThroughputBps(), meter.Joules(), eng.Processed()
 }
 
 // AblationC sweeps the DTS constant c. c < 1 under-uses the fair share;
@@ -56,12 +58,20 @@ func AblationC(cfg Config) *Result {
 	}
 	horizon := cfg.scaledTime(300*sim.Second, 60*sim.Second)
 	reps := cfg.reps(3)
-	for _, c := range []float64{0.5, 1.0, 1.5, 2.0} {
+	cs := []float64{0.5, 1.0, 1.5, 2.0}
+	outs := runPar(cfg, len(cs)*reps, func(i int) ablOut {
+		c, r := cs[i/reps], i%reps
+		// A fresh DTS instance per run: algorithm state is per-connection.
+		tp, j, ev := shiftRunWith(cfg.Seed+int64(r), &core.DTS{C: c}, horizon)
+		return ablOut{tput: tp, joules: j, events: ev}
+	})
+	for ci, c := range cs {
 		var tput, joules float64
 		for r := 0; r < reps; r++ {
-			tp, j := shiftRunWith(cfg.Seed+int64(r), &core.DTS{C: c}, horizon)
-			tput += tp
-			joules += j
+			o := outs[ci*reps+r]
+			tput += o.tput
+			joules += o.joules
+			res.Events += o.events
 		}
 		tput /= float64(reps)
 		joules /= float64(reps)
@@ -73,6 +83,12 @@ func AblationC(cfg Config) *Result {
 			fmt.Sprintf("%v", cond))
 	}
 	return res
+}
+
+// ablOut is one ablation run's payload on the pool.
+type ablOut struct {
+	tput, joules float64
+	events       uint64
 }
 
 // AblationKappa sweeps the Eq. 9 price weight κ_s on a two-path wired
@@ -93,12 +109,23 @@ func AblationKappa(cfg Config) *Result {
 	}
 	horizon := cfg.scaledTime(120*sim.Second, 30*sim.Second)
 	reps := cfg.reps(3)
-	for _, kappa := range []float64{0, 1e-4, 5e-4, 2e-3} {
+	kappas := []float64{0, 1e-4, 5e-4, 2e-3}
+	type kappaOut struct {
+		tput, share float64
+		events      uint64
+	}
+	outs := runPar(cfg, len(kappas)*reps, func(i int) kappaOut {
+		kappa, r := kappas[i/reps], i%reps
+		tp, sh, ev := pricedShiftRun(cfg.Seed+int64(r), core.NewDTSEPLIA(kappa), horizon)
+		return kappaOut{tput: tp, share: sh, events: ev}
+	})
+	for ki, kappa := range kappas {
 		var tput, share float64
 		for r := 0; r < reps; r++ {
-			tp, sh := pricedShiftRun(cfg.Seed+int64(r), core.NewDTSEPLIA(kappa), horizon)
-			tput += tp
-			share += sh
+			o := outs[ki*reps+r]
+			tput += o.tput
+			share += o.share
+			res.Events += o.events
 		}
 		res.AddRow(fmt.Sprintf("%.0e", kappa),
 			fmtF(tput/float64(reps)/1e6, 1),
@@ -109,7 +136,7 @@ func AblationKappa(cfg Config) *Result {
 
 // pricedShiftRun runs two clean 50 Mb/s paths with the second one charged
 // an energy price, returning goodput and the priced path's traffic share.
-func pricedShiftRun(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, pricedShare float64) {
+func pricedShiftRun(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, pricedShare float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	tp := topo.NewTwoPath(eng, topo.TwoPathConfig{Rate: 50 * netem.Mbps})
 	for _, l := range tp.Paths()[1].Forward {
@@ -122,9 +149,9 @@ func pricedShiftRun(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, 
 	a0 := float64(conn.Subflows()[0].Acked())
 	a1 := float64(conn.Subflows()[1].Acked())
 	if a0+a1 == 0 {
-		return 0, 0
+		return 0, 0, eng.Processed()
 	}
-	return conn.MeanThroughputBps(), a1 / (a0 + a1)
+	return conn.MeanThroughputBps(), a1 / (a0 + a1), eng.Processed()
 }
 
 // AblationHystart compares the transport with and without the delay-based
@@ -140,7 +167,9 @@ func AblationHystart(cfg Config) *Result {
 		},
 	}
 	transfer := cfg.scaledBytes(256<<20, 8<<20)
-	for _, disable := range []bool{false, true} {
+	variants := []bool{false, true}
+	res.addRows(runPar(cfg, len(variants), func(i int) runRow {
+		disable := variants[i]
 		eng := sim.NewEngine(cfg.Seed)
 		fwd := netem.NewLink(eng, netem.LinkConfig{Name: "f", Rate: 100 * netem.Mbps, Delay: 20 * sim.Millisecond, QueueLimit: 1500})
 		rev := netem.NewLink(eng, netem.LinkConfig{Name: "r", Rate: 100 * netem.Mbps, Delay: 20 * sim.Millisecond})
@@ -154,11 +183,12 @@ func AblationHystart(cfg Config) *Result {
 		conn.Start()
 		eng.Run(600 * sim.Second)
 		st := conn.Subflows()[0].Stats()
-		res.AddRow(fmt.Sprintf("%v", !disable),
+		return runRow{events: eng.Processed(), cells: []string{
+			fmt.Sprintf("%v", !disable),
 			fmtF(conn.CompletedAt().Seconds(), 2),
 			fmt.Sprintf("%d", st.LossEvents),
-			fmt.Sprintf("%d", st.PktsRtx))
-	}
+			fmt.Sprintf("%d", st.PktsRtx)}}
+	}))
 	return res
 }
 
@@ -180,12 +210,19 @@ func AblationPathsel(cfg Config) *Result {
 	}
 	horizon := cfg.scaledTime(200*sim.Second, 40*sim.Second)
 	reps := cfg.reps(3)
-	for _, approach := range []string{"lia", "dts-lia", "lia+selector"} {
+	approaches := []string{"lia", "dts-lia", "lia+selector"}
+	outs := runPar(cfg, len(approaches)*reps, func(i int) ablOut {
+		approach, r := approaches[i/reps], i%reps
+		tp, j, ev := pathselRun(cfg.Seed+int64(r), approach, horizon)
+		return ablOut{tput: tp, joules: j, events: ev}
+	})
+	for ai, approach := range approaches {
 		var tput, joules float64
 		for r := 0; r < reps; r++ {
-			tp, j := pathselRun(cfg.Seed+int64(r), approach, horizon)
-			tput += tp
-			joules += j
+			o := outs[ai*reps+r]
+			tput += o.tput
+			joules += o.joules
+			res.Events += o.events
 		}
 		tput /= float64(reps)
 		joules /= float64(reps)
@@ -197,7 +234,7 @@ func AblationPathsel(cfg Config) *Result {
 }
 
 // pathselRun runs the Fig. 17 wireless scenario with the given approach.
-func pathselRun(seed int64, approach string, horizon sim.Time) (tputBps, joules float64) {
+func pathselRun(seed int64, approach string, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	het := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
 	workload.NewParetoOnOff(eng, []*netem.Link{het.CrossEntry(0)}, workload.ParetoConfig{
@@ -218,11 +255,11 @@ func pathselRun(seed int64, approach string, horizon sim.Time) (tputBps, joules 
 	meter := newHandsetMeter(eng, conn, true)
 	conn.Start()
 	eng.Run(horizon)
-	return conn.MeanThroughputBps(), meter.joules
+	return conn.MeanThroughputBps(), meter.joules, eng.Processed()
 }
 
 // fig17RunWith is fig17Run with an explicit algorithm instance.
-func fig17RunWith(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, joules float64) {
+func fig17RunWith(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	het := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
 	for _, l := range het.Paths()[1].Forward {
@@ -239,5 +276,5 @@ func fig17RunWith(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, jo
 	meter := newHandsetMeter(eng, conn, true)
 	conn.Start()
 	eng.Run(horizon)
-	return conn.MeanThroughputBps(), meter.joules
+	return conn.MeanThroughputBps(), meter.joules, eng.Processed()
 }

@@ -16,6 +16,7 @@ import (
 
 	"mptcpsim/internal/energy"
 	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
 )
 
@@ -29,6 +30,12 @@ type Config struct {
 	// Reps overrides the repetition count where the paper averages
 	// several runs (0 keeps the experiment's scaled default).
 	Reps int
+	// Workers sizes the run pool: independent simulation runs within a
+	// figure execute concurrently, each on its own engine. 0 means one
+	// worker per CPU; 1 reproduces the historical sequential execution.
+	// Output tables are byte-identical for every value (seeds derive from
+	// run identity, results collect by submission index).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -38,7 +45,17 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Workers <= 0 {
+		c.Workers = runner.DefaultWorkers()
+	}
 	return c
+}
+
+// runPar fans n independent run closures of one figure over the config's
+// worker pool. Closures must not share engines or any mutable state; each
+// derives everything (including its seed) from its index.
+func runPar[T any](cfg Config, n int, fn func(i int) T) []T {
+	return runner.Map(cfg.Workers, n, fn)
 }
 
 // scaled returns n scaled down, never below min.
@@ -89,11 +106,31 @@ type Result struct {
 	// Notes carries the paper's expected qualitative outcome and any scale
 	// substitutions, for EXPERIMENTS.md.
 	Notes []string
+	// Events counts the simulation events processed across every run of
+	// the experiment; cmd/mptcp-bench reports it (with wall-clock) in the
+	// BENCH JSON. It is not part of the rendered table.
+	Events uint64
 }
 
 // AddRow appends a formatted row.
 func (r *Result) AddRow(cells ...string) {
 	r.Rows = append(r.Rows, cells)
+}
+
+// runRow is one parallel run's rendered table row plus its event count;
+// figures whose runs map 1:1 to rows collect these from the pool.
+type runRow struct {
+	cells  []string
+	events uint64
+}
+
+// addRows appends pool-collected rows in submission order and accumulates
+// their event counts.
+func (r *Result) addRows(rows []runRow) {
+	for _, row := range rows {
+		r.AddRow(row.cells...)
+		r.Events += row.events
+	}
 }
 
 // String renders an aligned text table.

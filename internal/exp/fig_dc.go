@@ -33,6 +33,7 @@ func Fig10(cfg Config) *Result {
 	type outcome struct {
 		joules   float64
 		meanDone float64
+		events   uint64
 	}
 	algs := []struct {
 		name  string
@@ -43,8 +44,8 @@ func Fig10(cfg Config) *Result {
 		{name: "lia", paths: 4},
 		{name: "dts-lia", paths: 4},
 	}
-	outcomes := make(map[string]outcome, len(algs))
-	for _, a := range algs {
+	outcomes := runPar(cfg, len(algs), func(i int) outcome {
+		a := algs[i]
 		eng := sim.NewEngine(cfg.Seed)
 		vpc := topo.NewEC2VPC(eng, topo.EC2Config{Hosts: hosts, MarkThreshold: 20})
 		perm := workload.Permutation(eng, hosts)
@@ -73,11 +74,12 @@ func Fig10(cfg Config) *Result {
 		for _, m := range meters {
 			joules += m.Joules()
 		}
-		outcomes[a.name] = outcome{joules: joules, meanDone: doneSum / float64(hosts)}
-	}
-	base := outcomes["reno"].joules
-	for _, a := range algs {
-		o := outcomes[a.name]
+		return outcome{joules: joules, meanDone: doneSum / float64(hosts), events: eng.Processed()}
+	})
+	base := outcomes[0].joules // algs[0] is reno
+	for i, a := range algs {
+		o := outcomes[i]
+		res.Events += o.events
 		res.AddRow(a.name, fmt.Sprintf("%d", a.paths),
 			fmtF(o.meanDone, 2), fmtF(o.joules, 0),
 			fmtF(stats.RelChange(base, o.joules)*-100, 1))
@@ -153,7 +155,7 @@ func dcPricedLinks(net dcNet) {
 // but keep helping BCube's multi-NIC servers. It returns aggregate energy
 // (J), aggregate goodput (bytes) and the mean per-connection throughput
 // (b/s).
-func dcRun(seed int64, net dcNet, eng *sim.Engine, alg string, subflows int, horizon sim.Time, priced bool) (joules float64, bytes uint64, meanTput float64) {
+func dcRun(net dcNet, eng *sim.Engine, alg string, subflows int, horizon sim.Time, priced bool) (joules float64, bytes uint64, meanTput float64) {
 	if priced {
 		dcPricedLinks(net)
 	}
@@ -193,16 +195,23 @@ func dcOverheadSweep(cfg Config, kind, expect string) *Result {
 	}
 	horizon := cfg.scaledTime(60*sim.Second, 10*sim.Second)
 	reps := cfg.reps(3)
-	for _, nsub := range []int{1, 2, 4, 8} {
+	subflows := []int{1, 2, 4, 8}
+	outs := runPar(cfg, len(subflows)*reps, func(i int) dcOut {
+		nsub, r := subflows[i/reps], i%reps
+		eng := sim.NewEngine(cfg.Seed + int64(r))
+		net := dcBuild(eng, kind, cfg.Scale)
+		j, b, _ := dcRun(net, eng, "lia", nsub, horizon, false)
+		return dcOut{joules: j, bytes: b, events: eng.Processed()}
+	})
+	for s, nsub := range subflows {
 		var joules, tput float64
 		var bytes uint64
 		for r := 0; r < reps; r++ {
-			eng := sim.NewEngine(cfg.Seed + int64(r))
-			net := dcBuild(eng, kind, cfg.Scale)
-			j, b, _ := dcRun(cfg.Seed+int64(r), net, eng, "lia", nsub, horizon, false)
-			joules += j
-			bytes += b
-			tput += float64(b) * 8 / horizon.Seconds()
+			o := outs[s*reps+r]
+			joules += o.joules
+			bytes += o.bytes
+			tput += float64(o.bytes) * 8 / horizon.Seconds()
+			res.Events += o.events
 		}
 		joules /= float64(reps)
 		bytes /= uint64(reps)
@@ -211,6 +220,13 @@ func dcOverheadSweep(cfg Config, kind, expect string) *Result {
 			fmtF(joules, 0), fmtF(energy.PerGigabit(joules, bytes), 1))
 	}
 	return res
+}
+
+// dcOut is one datacenter run's payload on the pool.
+type dcOut struct {
+	joules float64
+	bytes  uint64
+	events uint64
 }
 
 // Fig12 is the BCube sweep (paper: more subflows reduce energy overhead).
@@ -232,24 +248,36 @@ func Fig14(cfg Config) *Result {
 }
 
 // dcCompareAlgs runs the priced FatTree/VL2 experiment behind Figs. 15-16:
-// LIA vs DTS vs extended DTS with 8 subflows.
-func dcCompareAlgs(cfg Config) map[string]map[string][3]float64 {
+// LIA vs DTS vs extended DTS with 8 subflows. It also returns the total
+// events processed.
+func dcCompareAlgs(cfg Config) (map[string]map[string][3]float64, uint64) {
 	cfg = cfg.withDefaults()
 	horizon := cfg.scaledTime(60*sim.Second, 10*sim.Second)
 	reps := cfg.reps(3)
+	kinds := []string{"fattree", "vl2"}
+	algs := []string{"lia", "dts-lia", "dtsep-lia"}
+	outs := runPar(cfg, len(kinds)*len(algs)*reps, func(i int) dcOut {
+		kind := kinds[i/(len(algs)*reps)]
+		alg := algs[i/reps%len(algs)]
+		r := i % reps
+		eng := sim.NewEngine(cfg.Seed + int64(r))
+		net := dcBuild(eng, kind, cfg.Scale)
+		j, b, _ := dcRun(net, eng, alg, 8, horizon, true)
+		return dcOut{joules: j, bytes: b, events: eng.Processed()}
+	})
+	var events uint64
 	out := make(map[string]map[string][3]float64)
-	for _, kind := range []string{"fattree", "vl2"} {
+	for k, kind := range kinds {
 		out[kind] = make(map[string][3]float64)
-		for _, alg := range []string{"lia", "dts-lia", "dtsep-lia"} {
+		for a, alg := range algs {
 			var joules, tput float64
 			var bytes uint64
 			for r := 0; r < reps; r++ {
-				eng := sim.NewEngine(cfg.Seed + int64(r))
-				net := dcBuild(eng, kind, cfg.Scale)
-				j, b, _ := dcRun(cfg.Seed+int64(r), net, eng, alg, 8, horizon, true)
-				joules += j
-				bytes += b
-				tput += float64(b) * 8 / horizon.Seconds()
+				o := outs[(k*len(algs)+a)*reps+r]
+				joules += o.joules
+				bytes += o.bytes
+				tput += float64(o.bytes) * 8 / horizon.Seconds()
+				events += o.events
 			}
 			joules /= float64(reps)
 			bytes /= uint64(reps)
@@ -257,7 +285,7 @@ func dcCompareAlgs(cfg Config) map[string]map[string][3]float64 {
 			out[kind][alg] = [3]float64{energy.PerGigabit(joules, bytes), tput, joules}
 		}
 	}
-	return out
+	return out, events
 }
 
 // Fig15 reports the energy saving of the extended DTS in FatTree and VL2.
@@ -270,7 +298,8 @@ func Fig15(cfg Config) *Result {
 			"paper expectation: the extended algorithm saves up to ~20% energy cost vs LIA",
 		},
 	}
-	data := dcCompareAlgs(cfg)
+	data, events := dcCompareAlgs(cfg)
+	res.Events = events
 	for _, kind := range []string{"fattree", "vl2"} {
 		base := data[kind]["lia"][0]
 		for _, alg := range []string{"lia", "dts-lia", "dtsep-lia"} {
@@ -292,7 +321,8 @@ func Fig16(cfg Config) *Result {
 			"paper expectation: DTS gets as good utilization as LIA",
 		},
 	}
-	data := dcCompareAlgs(cfg)
+	data, events := dcCompareAlgs(cfg)
+	res.Events = events
 	for _, kind := range []string{"fattree", "vl2"} {
 		base := data[kind]["lia"][1]
 		for _, alg := range []string{"lia", "dts-lia", "dtsep-lia"} {

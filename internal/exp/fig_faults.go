@@ -24,6 +24,7 @@ type faultsOutcome struct {
 	goodputMbps float64
 	jPerGbit    float64
 	reinjected  float64
+	events      uint64
 }
 
 // runFaultScenario executes one algorithm under one fault scenario. Fault
@@ -90,6 +91,7 @@ func runFaultScenario(seed int64, alg, scenario string, horizon sim.Time) faults
 	out := faultsOutcome{
 		completedS: completed.Seconds(),
 		reinjected: float64(conn.ReinjectedSegs()),
+		events:     eng.Processed(),
 	}
 	if completed > 0 {
 		out.goodputMbps = float64(conn.AckedBytes()) * 8 / completed.Seconds() / 1e6
@@ -114,15 +116,23 @@ func FigFaults(cfg Config) *Result {
 	horizon := cfg.scaledTime(60*sim.Second, 15*sim.Second)
 	reps := cfg.reps(3)
 	algs := []string{"ewtcp", "coupled", "lia", "olia", "balia", "wvegas", "dts", "dts-lia"}
-	for _, scenario := range []string{"outage", "flap", "handover"} {
-		for _, alg := range algs {
+	scenarios := []string{"outage", "flap", "handover"}
+	outs := runPar(cfg, len(scenarios)*len(algs)*reps, func(i int) faultsOutcome {
+		scenario := scenarios[i/(len(algs)*reps)]
+		alg := algs[i/reps%len(algs)]
+		r := i % reps
+		return runFaultScenario(cfg.Seed+int64(r), alg, scenario, horizon)
+	})
+	for s, scenario := range scenarios {
+		for a, alg := range algs {
 			var acc faultsOutcome
 			for r := 0; r < reps; r++ {
-				o := runFaultScenario(cfg.Seed+int64(r), alg, scenario, horizon)
+				o := outs[(s*len(algs)+a)*reps+r]
 				acc.completedS += o.completedS
 				acc.goodputMbps += o.goodputMbps
 				acc.jPerGbit += o.jPerGbit
 				acc.reinjected += o.reinjected
+				res.Events += o.events
 			}
 			n := float64(reps)
 			res.AddRow(scenario, alg,

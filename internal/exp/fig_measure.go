@@ -65,24 +65,32 @@ func Fig1(cfg Config) *Result {
 	}
 	horizon := cfg.scaledTime(30*sim.Second, 5*sim.Second)
 
-	run := func(label string, nsub int, singleNIC bool) {
+	specs := []struct {
+		label     string
+		nsub      int
+		singleNIC bool
+	}{
+		{"tcp-1nic", 1, true},
+		{"mptcp-2nic", 2, false},
+		{"mptcp-2nic", 4, false},
+		{"mptcp-2nic", 6, false},
+		{"mptcp-2nic", 8, false},
+	}
+	res.addRows(runPar(cfg, len(specs), func(i int) runRow {
+		sp := specs[i]
 		eng := sim.NewEngine(cfg.Seed)
 		paths := twoNICPaths(eng, 100*netem.Mbps, 150*sim.Microsecond)
-		if singleNIC {
+		if sp.singleNIC {
 			paths = paths[:1]
 		}
-		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: algFor(nsub)}, 1, repeatPaths(paths, nsub)...)
+		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: algFor(sp.nsub)}, 1, repeatPaths(paths, sp.nsub)...)
 		meter := meterFor(eng, energy.NewI7(), conn)
 		conn.Start()
 		eng.Run(horizon)
-		res.AddRow(label, fmt.Sprintf("%d", nsub),
-			fmtF(conn.MeanThroughputBps()/1e6, 1), fmtF(meter.MeanPower(), 2))
-	}
-
-	run("tcp-1nic", 1, true)
-	for _, n := range []int{2, 4, 6, 8} {
-		run("mptcp-2nic", n, false)
-	}
+		return runRow{events: eng.Processed(), cells: []string{
+			sp.label, fmt.Sprintf("%d", sp.nsub),
+			fmtF(conn.MeanThroughputBps()/1e6, 1), fmtF(meter.MeanPower(), 2)}}
+	}))
 	return res
 }
 
@@ -109,14 +117,23 @@ func Fig2(cfg Config) *Result {
 	}
 	horizon := cfg.scaledTime(30*sim.Second, 5*sim.Second)
 
-	run := func(label string, useWiFi, useLTE bool) {
+	specs := []struct {
+		label           string
+		useWiFi, useLTE bool
+	}{
+		{"tcp-wifi", true, false},
+		{"tcp-lte", false, true},
+		{"mptcp-wifi+lte", true, true},
+	}
+	res.addRows(runPar(cfg, len(specs), func(i int) runRow {
+		sp := specs[i]
 		eng := sim.NewEngine(cfg.Seed)
 		het := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
 		var paths []*netem.Path
-		if useWiFi {
+		if sp.useWiFi {
 			paths = append(paths, het.Paths()[0])
 		}
-		if useLTE {
+		if sp.useLTE {
 			paths = append(paths, het.Paths()[1])
 		}
 		alg := "lia"
@@ -124,15 +141,12 @@ func Fig2(cfg Config) *Result {
 			alg = "reno"
 		}
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: alg}, 1, paths...)
-		meter := newHandsetMeter(eng, conn, useWiFi && useLTE)
+		meter := newHandsetMeter(eng, conn, sp.useWiFi && sp.useLTE)
 		conn.Start()
 		eng.Run(horizon)
-		res.AddRow(label, fmtF(conn.MeanThroughputBps()/1e6, 1), fmtF(meter.MeanPower(), 2))
-	}
-
-	run("tcp-wifi", true, false)
-	run("tcp-lte", false, true)
-	run("mptcp-wifi+lte", true, true)
+		return runRow{events: eng.Processed(), cells: []string{
+			sp.label, fmtF(conn.MeanThroughputBps()/1e6, 1), fmtF(meter.MeanPower(), 2)}}
+	}))
 	return res
 }
 
@@ -204,7 +218,9 @@ func Fig3a(cfg Config) *Result {
 	}
 	transfer := cfg.scaledBytes(10<<30, 64<<20)
 
-	for _, mbps := range []int64{200, 400, 600, 800, 1000} {
+	rates := []int64{200, 400, 600, 800, 1000}
+	res.addRows(runPar(cfg, len(rates), func(i int) runRow {
+		mbps := rates[i]
 		eng := sim.NewEngine(cfg.Seed)
 		paths := twoNICPaths(eng, mbps/2*netem.Mbps, 150*sim.Microsecond)
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia", TransferBytes: transfer}, 1, paths...)
@@ -220,12 +236,13 @@ func Fig3a(cfg Config) *Result {
 		if done == 0 {
 			done = eng.Now()
 		}
-		res.AddRow(fmt.Sprintf("%d", mbps),
+		return runRow{events: eng.Processed(), cells: []string{
+			fmt.Sprintf("%d", mbps),
 			fmtF(conn.MeanThroughputBps()/1e6, 1),
 			fmtF(meter.MeanPower(), 2),
 			fmtF(meter.Joules(), 1),
-			fmtF(done.Seconds(), 2))
-	}
+			fmtF(done.Seconds(), 2)}}
+	}))
 	return res
 }
 
@@ -243,7 +260,9 @@ func Fig3b(cfg Config) *Result {
 	}
 	transfer := cfg.scaledBytes(500<<20, 16<<20)
 
-	for _, mbps := range []int64{10, 20, 30, 40, 50} {
+	rates := []int64{10, 20, 30, 40, 50}
+	res.addRows(runPar(cfg, len(rates), func(i int) runRow {
+		mbps := rates[i]
 		eng := sim.NewEngine(cfg.Seed)
 		fwd := netem.NewLink(eng, netem.LinkConfig{Name: "wifi-f", Rate: mbps * netem.Mbps, Delay: 20 * sim.Millisecond, QueueLimit: 100})
 		rev := netem.NewLink(eng, netem.LinkConfig{Name: "wifi-r", Rate: mbps * netem.Mbps, Delay: 20 * sim.Millisecond, QueueLimit: 100})
@@ -261,12 +280,13 @@ func Fig3b(cfg Config) *Result {
 		if done == 0 {
 			done = eng.Now()
 		}
-		res.AddRow(fmt.Sprintf("%d", mbps),
+		return runRow{events: eng.Processed(), cells: []string{
+			fmt.Sprintf("%d", mbps),
 			fmtF(conn.MeanThroughputBps()/1e6, 1),
 			fmtF(meter.MeanPower(), 2),
 			fmtF(meter.Joules(), 1),
-			fmtF(done.Seconds(), 2))
-	}
+			fmtF(done.Seconds(), 2)}}
+	}))
 	return res
 }
 
@@ -292,7 +312,9 @@ func Fig4(cfg Config) *Result {
 	// Small delay steps with a fixed queue: large propagation delays would
 	// make LIA's coupled recovery span the whole horizon and throughput
 	// would no longer be held fixed (the paper's testbed delays are small).
-	for _, delay := range []sim.Time{500 * sim.Microsecond, 2 * sim.Millisecond, 5 * sim.Millisecond} {
+	delays := []sim.Time{500 * sim.Microsecond, 2 * sim.Millisecond, 5 * sim.Millisecond}
+	res.addRows(runPar(cfg, len(delays), func(i int) runRow {
+		delay := delays[i]
 		eng := sim.NewEngine(cfg.Seed)
 		paths := fixedQueuePaths(eng, 100*netem.Mbps, delay, 100)
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia"}, 1, paths...)
@@ -307,10 +329,11 @@ func Fig4(cfg Config) *Result {
 		window := horizon.Seconds()
 		tput := float64(conn.AckedBytes()-bytes0) * 8 / window
 		power := (meter.Joules() - joules0) / window
-		res.AddRow(fmtF(delay.Seconds()*1000, 1),
+		return runRow{events: eng.Processed(), cells: []string{
+			fmtF(delay.Seconds()*1000, 1),
 			fmtF(conn.MeanSRTTSeconds()*1000, 1),
 			fmtF(tput/1e6, 1),
-			fmtF(power, 2))
-	}
+			fmtF(power, 2)}}
+	}))
 	return res
 }

@@ -33,21 +33,32 @@ func Fig6(cfg Config) *Result {
 		},
 	}
 	transfer := cfg.scaledBytes(16<<20, 2<<20)
+	type spec struct {
+		n   int
+		alg string
+	}
+	var specs []spec
 	for _, fullN := range []int{10, 20, 50, 100} {
 		n := cfg.scaled(fullN, 4)
 		for _, alg := range fig6Algorithms {
-			b := stats.NewBox(fig6UserEnergies(cfg.Seed, n, alg, transfer))
-			res.AddRow(fmt.Sprintf("%d", n), alg,
-				fmtF(b.Min, 1), fmtF(b.Q1, 1), fmtF(b.Median, 1),
-				fmtF(b.Q3, 1), fmtF(b.Max, 1), fmt.Sprintf("%d", len(b.Outliers)))
+			specs = append(specs, spec{n: n, alg: alg})
 		}
 	}
+	res.addRows(runPar(cfg, len(specs), func(i int) runRow {
+		sp := specs[i]
+		energies, events := fig6UserEnergies(cfg.Seed, sp.n, sp.alg, transfer)
+		b := stats.NewBox(energies)
+		return runRow{events: events, cells: []string{
+			fmt.Sprintf("%d", sp.n), sp.alg,
+			fmtF(b.Min, 1), fmtF(b.Q1, 1), fmtF(b.Median, 1),
+			fmtF(b.Q3, 1), fmtF(b.Max, 1), fmt.Sprintf("%d", len(b.Outliers))}}
+	}))
 	return res
 }
 
 // fig6UserEnergies runs one Fig. 5a experiment and returns the per-user
-// energy consumption of the N MPTCP transfers.
-func fig6UserEnergies(seed int64, n int, alg string, transfer int64) []float64 {
+// energy consumption of the N MPTCP transfers plus the events processed.
+func fig6UserEnergies(seed int64, n int, alg string, transfer int64) ([]float64, uint64) {
 	eng := sim.NewEngine(seed)
 	d := topo.NewDumbbell(eng, topo.DumbbellConfig{Users: 3 * n})
 
@@ -80,16 +91,16 @@ func fig6UserEnergies(seed int64, n int, alg string, transfer int64) []float64 {
 	for u, m := range meters {
 		out[u] = m.Joules()
 	}
-	return out
+	return out, eng.Processed()
 }
 
 // fig7Algorithms are the existing algorithms compared for traffic shifting.
 var fig7Algorithms = []string{"lia", "olia", "balia", "ecmtcp", "wvegas"}
 
 // shiftRun runs one Fig. 5b experiment: an MPTCP connection over two paths
-// with Pareto bursty cross traffic on each, returning mean goodput (b/s)
-// and sender energy (J).
-func shiftRun(seed int64, alg string, horizon sim.Time) (tputBps, joules float64) {
+// with Pareto bursty cross traffic on each, returning mean goodput (b/s),
+// sender energy (J) and events processed.
+func shiftRun(seed int64, alg string, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	// 45 Mb/s bursts on a 50 Mb/s path genuinely flip it to the Bad
 	// state of Fig. 5b; on a faster path they would barely register.
@@ -106,7 +117,7 @@ func shiftRun(seed int64, alg string, horizon sim.Time) (tputBps, joules float64
 	meter := meterFor(eng, energy.NewI7(), conn)
 	conn.Start()
 	eng.Run(horizon)
-	return conn.MeanThroughputBps(), meter.Joules()
+	return conn.MeanThroughputBps(), meter.Joules(), eng.Processed()
 }
 
 // Fig7 compares the existing algorithms' shifting behaviour under bursty
@@ -123,12 +134,24 @@ func Fig7(cfg Config) *Result {
 	}
 	horizon := cfg.scaledTime(300*sim.Second, 60*sim.Second)
 	reps := cfg.reps(5)
-	for _, alg := range fig7Algorithms {
+	type shiftOut struct {
+		tput, joules float64
+		events       uint64
+	}
+	// One pool run per (algorithm, repetition); the seed depends only on
+	// the repetition index, exactly as the sequential loops derived it.
+	outs := runPar(cfg, len(fig7Algorithms)*reps, func(i int) shiftOut {
+		alg, r := fig7Algorithms[i/reps], i%reps
+		tp, j, ev := shiftRun(cfg.Seed+int64(r), alg, horizon)
+		return shiftOut{tput: tp, joules: j, events: ev}
+	})
+	for a, alg := range fig7Algorithms {
 		var tput, joules float64
 		for r := 0; r < reps; r++ {
-			tp, j := shiftRun(cfg.Seed+int64(r), alg, horizon)
-			tput += tp
-			joules += j
+			o := outs[a*reps+r]
+			tput += o.tput
+			joules += o.joules
+			res.Events += o.events
 		}
 		tput /= float64(reps)
 		joules /= float64(reps)
@@ -152,7 +175,15 @@ func Fig8(cfg Config) *Result {
 	}
 	horizon := cfg.scaledTime(300*sim.Second, 60*sim.Second)
 	const samples = 10
-	for _, alg := range []string{"lia", "dts-lia"} {
+	algs := []string{"lia", "dts-lia"}
+	type traceOut struct {
+		rows   [][]string
+		events uint64
+	}
+	// The per-sample stepping is inherently sequential within one run, so
+	// the pool fans out over algorithms only.
+	traces := runPar(cfg, len(algs), func(ai int) traceOut {
+		alg := algs[ai]
 		eng := sim.NewEngine(cfg.Seed)
 		// 45 Mb/s bursts on a 50 Mb/s path genuinely flip it to the Bad
 		// state of Fig. 5b; on a faster path they would barely register.
@@ -163,16 +194,23 @@ func Fig8(cfg Config) *Result {
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: alg}, 1, tp.Paths()...)
 		meter := meterFor(eng, energy.NewI7(), conn)
 		conn.Start()
+		var out traceOut
 		var lastBytes uint64
 		step := horizon / samples
 		for i := 1; i <= samples; i++ {
 			eng.Run(step * sim.Time(i))
 			delta := conn.AckedBytes() - lastBytes
 			lastBytes = conn.AckedBytes()
-			res.AddRow(alg, fmtF((step*sim.Time(i)).Seconds(), 0),
+			out.rows = append(out.rows, []string{alg, fmtF((step * sim.Time(i)).Seconds(), 0),
 				fmtF(float64(delta)*8/step.Seconds()/1e6, 1),
-				fmtF(meter.Joules(), 1))
+				fmtF(meter.Joules(), 1)})
 		}
+		out.events = eng.Processed()
+		return out
+	})
+	for _, tr := range traces {
+		res.Rows = append(res.Rows, tr.rows...)
+		res.Events += tr.events
 	}
 	return res
 }
@@ -196,12 +234,22 @@ func Fig9(cfg Config) *Result {
 	perGbit := make(map[string]float64)
 	tputs := make(map[string]float64)
 	algs := []string{"lia", "dts", "dts-lia", "dts-taylor"}
-	for _, alg := range algs {
+	type shiftOut struct {
+		tput, joules float64
+		events       uint64
+	}
+	outs := runPar(cfg, len(algs)*reps, func(i int) shiftOut {
+		alg, r := algs[i/reps], i%reps
+		tp, j, ev := shiftRun(cfg.Seed+int64(r), alg, horizon)
+		return shiftOut{tput: tp, joules: j, events: ev}
+	})
+	for a, alg := range algs {
 		var tput, joules float64
 		for r := 0; r < reps; r++ {
-			tp, j := shiftRun(cfg.Seed+int64(r), alg, horizon)
-			tput += tp
-			joules += j
+			o := outs[a*reps+r]
+			tput += o.tput
+			joules += o.joules
+			res.Events += o.events
 		}
 		tput /= float64(reps)
 		joules /= float64(reps)

@@ -15,9 +15,9 @@ import (
 // receive buffer, under bursty cross traffic on both links, exactly the
 // paper's ns-2 setup; handset energy comes from the Nexus radio models.
 
-// fig17Run executes one 200 s (scaled) run and returns goodput (b/s) and
-// handset energy (J).
-func fig17Run(seed int64, alg string, horizon sim.Time, priceLTE bool) (tputBps, joules float64) {
+// fig17Run executes one 200 s (scaled) run and returns goodput (b/s),
+// handset energy (J) and events processed.
+func fig17Run(seed int64, alg string, horizon sim.Time, priceLTE bool) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	het := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
 	if priceLTE {
@@ -43,7 +43,7 @@ func fig17Run(seed int64, alg string, horizon sim.Time, priceLTE bool) (tputBps,
 	meter := newHandsetMeter(eng, conn, true)
 	conn.Start()
 	eng.Run(horizon)
-	return conn.MeanThroughputBps(), meter.joules
+	return conn.MeanThroughputBps(), meter.joules, eng.Processed()
 }
 
 // Fig17 compares LIA, DTS and the extended DTS on handset energy and
@@ -64,12 +64,22 @@ func Fig17(cfg Config) *Result {
 	perGbit := make(map[string]float64)
 	tputs := make(map[string]float64)
 	algs := []string{"lia", "dts", "dts-lia", "dtsep"}
-	for _, alg := range algs {
+	type wlOut struct {
+		tput, joules float64
+		events       uint64
+	}
+	outs := runPar(cfg, len(algs)*reps, func(i int) wlOut {
+		alg, r := algs[i/reps], i%reps
+		tp, j, ev := fig17Run(cfg.Seed+int64(r), alg, horizon, alg == "dtsep")
+		return wlOut{tput: tp, joules: j, events: ev}
+	})
+	for a, alg := range algs {
 		var tput, joules float64
 		for r := 0; r < reps; r++ {
-			tp, j := fig17Run(cfg.Seed+int64(r), alg, horizon, alg == "dtsep")
-			tput += tp
-			joules += j
+			o := outs[a*reps+r]
+			tput += o.tput
+			joules += o.joules
+			res.Events += o.events
 		}
 		tput /= float64(reps)
 		joules /= float64(reps)

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+)
+
+// These tests pin the parallel runner's contract: the worker count must be
+// invisible in every rendered byte of a figure's output, because seeds
+// derive from run identity (figure parameters, repetition index) and rows
+// collect by submission index. They deliberately run in -short mode too, so
+// `go test -race -short` exercises the pool under the race detector.
+
+// renderWith runs the experiment with the given worker count and returns
+// the rendered table.
+func renderWith(t *testing.T, id string, cfg Config, workers int) (string, uint64) {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	cfg.Workers = workers
+	res := e.Run(cfg)
+	return res.String(), res.Events
+}
+
+func TestFigFaultsDeterministicAcrossWorkerCounts(t *testing.T) {
+	// 24 runs (3 scenarios x 8 algorithms) — plenty of pool contention.
+	seq, seqEvents := renderWith(t, "faults", tiny, 1)
+	par, parEvents := renderWith(t, "faults", tiny, 8)
+	if seq != par {
+		t.Errorf("faults table differs between Workers=1 and Workers=8:\n--- j=1 ---\n%s--- j=8 ---\n%s", seq, par)
+	}
+	if seqEvents == 0 || seqEvents != parEvents {
+		t.Errorf("event counts differ: %d (j=1) vs %d (j=8)", seqEvents, parEvents)
+	}
+}
+
+func TestFig3aDeterministicAcrossWorkerCounts(t *testing.T) {
+	skipIfShort(t) // fixed-size transfers; too heavy under the race detector
+	seq, seqEvents := renderWith(t, "fig3a", tiny, 1)
+	par, parEvents := renderWith(t, "fig3a", tiny, 8)
+	if seq != par {
+		t.Errorf("fig3a table differs between Workers=1 and Workers=8:\n--- j=1 ---\n%s--- j=8 ---\n%s", seq, par)
+	}
+	if seqEvents == 0 || seqEvents != parEvents {
+		t.Errorf("event counts differ: %d (j=1) vs %d (j=8)", seqEvents, parEvents)
+	}
+}
+
+func TestConcurrentExperimentsAreIndependent(t *testing.T) {
+	// Two experiment runs sharing no engine must not influence each other
+	// through hidden package-level state (e.g. misuse of netem's packet
+	// pool would let one engine's in-flight packet surface in another).
+	// Two different experiments, so each has a distinct table to corrupt.
+	// Reference outputs, computed alone:
+	want1, _ := renderWith(t, "fig2", tiny, 1)
+	want2, _ := renderWith(t, "fig4", tiny, 1)
+
+	// Now both concurrently, each itself running parallel workers.
+	var got1, got2 string
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); got1, _ = renderWith(t, "fig2", tiny, 4) }()
+	go func() { defer wg.Done(); got2, _ = renderWith(t, "fig4", tiny, 4) }()
+	wg.Wait()
+	if got1 != want1 {
+		t.Errorf("concurrent run 1 diverged from solo run:\n--- solo ---\n%s--- concurrent ---\n%s", want1, got1)
+	}
+	if got2 != want2 {
+		t.Errorf("concurrent run 2 diverged from solo run:\n--- solo ---\n%s--- concurrent ---\n%s", want2, got2)
+	}
+}

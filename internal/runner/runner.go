@@ -1,0 +1,86 @@
+// Package runner fans independent simulation runs out across CPU cores.
+//
+// Parallelism in this codebase lives at the run level, never inside a run:
+// each sim.Engine is single-threaded and owns its whole scenario, so a
+// worker executes one engine start to finish with no locks on the hot path.
+// Determinism is preserved by construction — every run derives its seed from
+// its own identity (figure parameters, repetition index), never from the
+// worker that happens to execute it, and results are collected by submission
+// index so output is byte-identical for any worker count.
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the pool width used when a caller passes workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(0) … fn(n-1) across at most workers goroutines and returns
+// the results ordered by index. fn must be safe to call concurrently with
+// itself on distinct indices (for simulation runs: build your own engine,
+// share nothing). workers <= 0 means DefaultWorkers; workers == 1 runs
+// inline on the calling goroutine, which is the reference execution the
+// determinism tests compare against.
+//
+// A panic in any fn is re-raised on the calling goroutine once the other
+// workers have drained, so figure runners keep their fail-fast behaviour.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, &panicValue{r})
+						}
+					}()
+					out[i] = fn(i)
+				}()
+				if panicked.Load() != nil {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pv := panicked.Load(); pv != nil {
+		panic(pv.(*panicValue).v)
+	}
+	return out
+}
+
+// panicValue wraps a recovered value so a nil panic payload still registers
+// in the atomic.Value.
+type panicValue struct{ v any }

@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: got %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map[int](4, 0, func(int) int { return 1 }); got != nil {
+		t.Errorf("Map with n=0 returned %v, want nil", got)
+	}
+}
+
+func TestMapRunsEveryIndexExactlyOnce(t *testing.T) {
+	var calls [257]atomic.Int32
+	Map(7, len(calls), func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("index %d ran %d times, want 1", i, n)
+		}
+	}
+}
+
+func TestMapCapsWorkersAtN(t *testing.T) {
+	// More workers than items must still execute every item once; the
+	// easiest observable contract is correct output.
+	got := Map(64, 3, func(i int) int { return i })
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("got %v, want [0 1 2]", got)
+	}
+}
+
+func TestMapRepanicsOnCaller(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != sentinel {
+					t.Errorf("workers=%d: recovered %v, want sentinel", workers, r)
+				}
+			}()
+			Map(workers, 8, func(i int) int {
+				if i == 3 {
+					panic(sentinel)
+				}
+				return i
+			})
+			t.Errorf("workers=%d: Map returned instead of panicking", workers)
+		}()
+	}
+}

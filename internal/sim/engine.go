@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -33,79 +32,62 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // Seconds reports the instant as fractional seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// event is a queue entry. Every event — timer-tracked or not — returns to
+// the engine's free list once it fires or is stopped; gen is bumped on each
+// recycle so a stale Timer handle can tell its event has moved on.
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
 
-	index    int // heap index; -1 once popped or cancelled
-	canceled bool
-	tracked  bool // referenced by a Timer; never recycled
+	index int    // heap index; -1 once popped or removed
+	gen   uint64 // incremented on recycle; Timer handles compare against it
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by time, then by scheduling order (FIFO at equal
+// instants).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	return a.seq < b.seq
 }
 
 // Timer is a handle to a scheduled event that can be cancelled before it
-// fires. The zero value is not usable; timers come from Engine.At/After.
+// fires. The zero value is an inert timer: Stop and Active are no-ops on it.
 type Timer struct {
-	ev *event
+	eng *Engine
+	ev  *event
+	gen uint64
 }
 
-// Stop cancels the timer. It reports whether the event had not yet fired.
-// Stopping an already-fired or already-stopped timer is a no-op.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index == -1 {
+// Stop cancels the timer, removing its event from the queue immediately. It
+// reports whether the event had not yet fired. Stopping an already-fired or
+// already-stopped timer is a no-op: the generation counter on the recycled
+// event makes a stale handle harmless even after the event is reused.
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.index < 0 {
 		return false
 	}
-	t.ev.canceled = true
+	t.eng.remove(t.ev)
 	return true
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index != -1
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
-// concurrent use; a simulation run owns exactly one engine.
+// concurrent use; a simulation run owns exactly one engine. Independent
+// engines may run on separate goroutines (see internal/runner).
 type Engine struct {
 	now    Time
-	events eventHeap
+	events []*event // 4-ary min-heap ordered by (at, seq)
 	seq    uint64
 	rng    *rand.Rand
 
-	free []*event // recycled untracked events
+	free []*event // recycled events
 
 	processed uint64
 	stopped   bool
@@ -128,20 +110,18 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // At schedules fn to run at instant t. Scheduling in the past runs the event
 // at the current time (it cannot rewind the clock). It returns a cancellable
 // timer handle.
-func (e *Engine) At(t Time, fn func()) *Timer {
+func (e *Engine) At(t Time, fn func()) Timer {
 	ev := e.push(t, fn)
-	ev.tracked = true
-	return &Timer{ev: ev}
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Timer {
+func (e *Engine) After(d Time, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
-// Schedule is the hot-path variant of At: it returns no timer handle and
-// lets the engine recycle the event after it fires. Use it when the event
-// never needs cancelling.
+// Schedule is the no-handle variant of At, for events that never need
+// cancelling.
 func (e *Engine) Schedule(t Time, fn func()) {
 	e.push(t, fn)
 }
@@ -158,13 +138,16 @@ func (e *Engine) push(t Time, fn func()) *event {
 	var ev *event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
+		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		*ev = event{at: t, seq: e.seq, fn: fn}
+		ev.at, ev.seq, ev.fn = t, e.seq, fn
 	} else {
 		ev = &event{at: t, seq: e.seq, fn: fn}
 	}
 	e.seq++
-	heap.Push(&e.events, ev)
+	ev.index = len(e.events)
+	e.events = append(e.events, ev)
+	e.siftUp(ev.index)
 	return ev
 }
 
@@ -175,52 +158,31 @@ func (e *Engine) Stop() { e.stopped = true }
 // clock would pass until. It returns the time at which it stopped: until if
 // the horizon was reached, otherwise the time of the last event.
 func (e *Engine) Run(until Time) Time {
-	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > until {
-			e.now = until
-			return e.now
-		}
-		heap.Pop(&e.events)
-		if next.canceled {
-			e.recycle(next)
-			continue
-		}
-		e.now = next.at
-		e.processed++
-		fn := next.fn
-		e.recycle(next)
-		fn()
-	}
+	e.loop(until, true)
 	if e.now < until && !e.stopped {
 		e.now = until
 	}
 	return e.now
 }
 
-func (e *Engine) recycle(ev *event) {
-	if ev.tracked {
-		return
-	}
-	ev.fn = nil
-	if len(e.free) < 1024 {
-		e.free = append(e.free, ev)
-	}
-}
-
 // Drain runs every remaining event regardless of time, leaving the clock
 // at the last event processed (so the engine stays usable afterwards).
 // Intended for tests.
 func (e *Engine) Drain() {
+	e.loop(0, false)
+}
+
+// loop is the shared pop/fire cycle behind Run and Drain. Stopped timers
+// leave the queue at Stop time, so every popped event fires.
+func (e *Engine) loop(until Time, bounded bool) {
 	e.stopped = false
 	for len(e.events) > 0 && !e.stopped {
 		next := e.events[0]
-		heap.Pop(&e.events)
-		if next.canceled {
-			e.recycle(next)
-			continue
+		if bounded && next.at > until {
+			e.now = until
+			return
 		}
+		e.popTop()
 		e.now = next.at
 		e.processed++
 		fn := next.fn
@@ -229,6 +191,103 @@ func (e *Engine) Drain() {
 	}
 }
 
-// Pending reports how many events (including cancelled ones not yet popped)
-// remain queued.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	if len(e.free) < 1024 {
+		e.free = append(e.free, ev)
+	}
+}
+
+// Pending reports how many scheduled events remain queued. Stopped timers
+// are removed from the queue immediately, so they are never counted.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// --- 4-ary min-heap ---
+//
+// A 4-ary heap halves sift depth versus the binary container/heap and keeps
+// parent/child hops within one cache line of *event pointers; inlining it
+// also removes the interface boxing of heap.Push/Pop from the hot path.
+
+// popTop removes the minimum event, leaving its index at -1.
+func (e *Engine) popTop() {
+	h := e.events
+	n := len(h) - 1
+	h[0].index = -1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		last.index = 0
+		h[0] = last
+		e.siftDown(0)
+	}
+}
+
+// remove deletes an arbitrary queued event (Timer.Stop) and recycles it.
+func (e *Engine) remove(ev *event) {
+	i := ev.index
+	h := e.events
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	ev.index = -1
+	if i < n {
+		last.index = i
+		h[i] = last
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
+	e.recycle(ev)
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = ev
+	ev.index = i
+}
+
+// siftDown restores heap order below i and reports whether the event moved.
+func (e *Engine) siftDown(i int) bool {
+	h := e.events
+	n := len(h)
+	ev := h[i]
+	start := i
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !less(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = i
+		i = m
+	}
+	h[i] = ev
+	ev.index = i
+	return i != start
+}

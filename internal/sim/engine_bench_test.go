@@ -2,7 +2,15 @@ package sim
 
 import "testing"
 
-func BenchmarkScheduleAndRun(b *testing.B) {
+// The Engine benchmarks are the perf contract of the hot path: schedule and
+// fire must stay allocation-free in steady state (b.ReportAllocs enforces it
+// in review), and events/sec across these shapes is the number the BENCH
+// JSON trajectory tracks. CI runs them with -bench=Engine.
+
+// BenchmarkEngineScheduleFire is the minimal self-rescheduling tick: heap
+// stays near size 1, so this isolates per-event fixed cost (push, pop,
+// recycle, dispatch).
+func BenchmarkEngineScheduleFire(b *testing.B) {
 	eng := NewEngine(1)
 	n := 0
 	var tick func()
@@ -11,6 +19,7 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		eng.ScheduleAfter(Microsecond, tick)
 	}
 	eng.ScheduleAfter(Microsecond, tick)
+	b.ReportAllocs()
 	b.ResetTimer()
 	eng.Run(Time(b.N) * Microsecond)
 	if n == 0 {
@@ -19,19 +28,65 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 	b.ReportMetric(float64(n)/float64(b.N), "events/op")
 }
 
-func BenchmarkTimerChurn(b *testing.B) {
-	// The rearm-heavy pattern transports generate: schedule far ahead,
-	// cancel, reschedule.
+// BenchmarkEngineDeepQueue keeps 1024 self-rescheduling events in flight —
+// the realistic shape for a figure run (hundreds of flows, each with link,
+// meter and transport events pending) — so sift depth dominates.
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	const depth = 1024
 	eng := NewEngine(1)
-	b.ResetTimer()
-	var tm *Timer
-	for i := 0; i < b.N; i++ {
-		if tm != nil {
-			tm.Stop()
+	fired := 0
+	for i := 0; i < depth; i++ {
+		i := i
+		var tick func()
+		tick = func() {
+			fired++
+			// Staggered periods keep the heap genuinely unsorted.
+			eng.ScheduleAfter(Time(1+i%7)*Microsecond, tick)
 		}
-		tm = eng.After(Second, func() {})
+		eng.ScheduleAfter(Time(1+i%7)*Microsecond, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for fired < b.N {
+		eng.Run(eng.Now() + Millisecond)
+	}
+	b.StopTimer()
+	if fired == 0 {
+		b.Fatal("no events ran")
+	}
+}
+
+// BenchmarkEngineTimerChurn is the rearm-heavy pattern transports generate:
+// schedule far ahead, cancel, reschedule. Cancelled timers must leave the
+// queue rather than accumulate.
+func BenchmarkEngineTimerChurn(b *testing.B) {
+	eng := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var tm Timer
+	for i := 0; i < b.N; i++ {
+		tm.Stop()
+		tm = eng.After(Second, fn)
 		if i%64 == 0 {
 			eng.Run(eng.Now() + Microsecond)
 		}
 	}
+}
+
+// BenchmarkEngineTimerFire schedules tracked timers that actually fire, so
+// the timer-handle path (not just Schedule) is covered by the recycle pool.
+func BenchmarkEngineTimerFire(b *testing.B) {
+	eng := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(Microsecond, fn)
+		if i%64 == 63 {
+			eng.Run(eng.Now() + 2*Microsecond)
+		}
+	}
+	b.StopTimer()
+	eng.Drain()
 }

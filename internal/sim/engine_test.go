@@ -136,6 +136,76 @@ func TestTimerActive(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesStoppedTimers(t *testing.T) {
+	// Pinned semantics: Pending counts events still scheduled to fire.
+	// Stopping a timer removes its event from the queue immediately, so
+	// cancelled events are never reported (and never occupy heap space).
+	e := NewEngine(1)
+	timers := make([]Timer, 3)
+	for i := range timers {
+		timers[i] = e.At(Time(i+1)*Millisecond, func() {})
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("Pending = %d, want 3", e.Pending())
+	}
+	if !timers[1].Stop() {
+		t.Fatal("Stop on pending timer failed")
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d after one Stop, want 2", e.Pending())
+	}
+	e.Run(Second)
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after Run, want 0", e.Pending())
+	}
+}
+
+func TestStaleTimerHandleIsInert(t *testing.T) {
+	// After an event fires it is recycled; a handle kept around must not be
+	// able to cancel the event's next incarnation.
+	e := NewEngine(1)
+	tm := e.At(Millisecond, func() {})
+	e.Run(2 * Millisecond)
+	if tm.Active() {
+		t.Error("fired timer still Active")
+	}
+	// Heavy churn forces reuse of the recycled event.
+	fired := 0
+	for i := 0; i < 200; i++ {
+		e.After(Time(i)*Microsecond, func() { fired++ })
+	}
+	if tm.Stop() {
+		t.Error("stale handle cancelled a recycled event")
+	}
+	e.Run(Second)
+	if fired != 200 {
+		t.Errorf("fired %d events, want 200 (stale Stop must be a no-op)", fired)
+	}
+}
+
+func TestStopDuringRunRemovesFromQueue(t *testing.T) {
+	// An event firing may stop another pending timer; the removal happens
+	// mid-loop and must keep the heap consistent.
+	e := NewEngine(1)
+	var victims []Timer
+	fired := 0
+	for i := 0; i < 50; i++ {
+		victims = append(victims, e.At(Time(10+i)*Millisecond, func() { fired++ }))
+	}
+	e.At(5*Millisecond, func() {
+		for _, v := range victims {
+			v.Stop()
+		}
+	})
+	e.Run(Second)
+	if fired != 0 {
+		t.Errorf("%d stopped timers fired", fired)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", e.Pending())
+	}
+}
+
 func TestEngineStopHaltsRun(t *testing.T) {
 	e := NewEngine(1)
 	count := 0

@@ -10,6 +10,9 @@
 // simulation runs execute concurrently (tables are byte-identical for any
 // value). -cpuprofile/-memprofile write pprof profiles, and -json records
 // per-experiment wall-clock and event throughput to BENCH_<timestamp>.json.
+// -out DIR exports one machine-readable run record (JSONL + CSV, see
+// internal/obsv and EXPERIMENTS.md) per simulation run; -sample-interval
+// sets the record's sampling period in simulated time.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"mptcpsim/internal/exp"
 	"mptcpsim/internal/runner"
+	"mptcpsim/internal/sim"
 )
 
 func main() {
@@ -70,6 +74,8 @@ func run(args []string) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		jsonOut    = fs.Bool("json", false, "write per-experiment timing and event counts to BENCH_<timestamp>.json")
+		outDir     = fs.String("out", "", "write one JSONL+CSV run record per (algorithm, scenario, seed) to this directory")
+		sampleInt  = fs.Duration("sample-interval", 0, "run-record sampling period in simulated time (0 = 100ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,7 +89,10 @@ func run(args []string) error {
 	if *full {
 		*scale = 1
 	}
-	cfg := exp.Config{Seed: *seed, Scale: *scale, Reps: *reps, Workers: *workers}
+	cfg := exp.Config{
+		Seed: *seed, Scale: *scale, Reps: *reps, Workers: *workers,
+		OutDir: *outDir, SampleInterval: sim.Time(*sampleInt),
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

@@ -6,12 +6,20 @@
 //	mptcp-sim -topo hetwireless -alg dts-lia -cross
 //	mptcp-sim -topo twopath -alg lia -bytes 20000000 -fault "path1:down@2s,up@5s"
 //	mptcp-sim -topo twopath -alg dts -runs 8 -j 4   # 8 seeds, 4 at a time
+//	mptcp-sim -topo twopath -alg dts -trace run.jsonl -sample-interval 50ms
+//
+// -trace streams a machine-readable run record (JSONL, see internal/obsv
+// and EXPERIMENTS.md): per-subflow cwnd/SRTT/loss series, algorithm
+// internals for introspectable algorithms, host power, and failover events.
+// With -runs > 1 each run writes its own file with the seed inserted before
+// the extension.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -20,6 +28,7 @@ import (
 	"mptcpsim/internal/faults"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
+	"mptcpsim/internal/obsv"
 	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
 	"mptcpsim/internal/topo"
@@ -36,15 +45,18 @@ func main() {
 // scenario carries every knob one simulation run needs, so repeated runs
 // differ only in their seed.
 type scenario struct {
-	topo     string
-	alg      string
-	subflows int
-	hosts    int
-	duration time.Duration
-	transfer int64
-	cross    bool
-	rwnd     int64
-	fault    string
+	topo       string
+	alg        string
+	subflows   int
+	hosts      int
+	duration   time.Duration
+	transfer   int64
+	cross      bool
+	rwnd       int64
+	fault      string
+	trace      string
+	sampleInt  time.Duration
+	multiTrace bool // -runs > 1: insert the seed into each trace filename
 }
 
 // runResult summarises one completed run for the multi-run table.
@@ -73,9 +85,11 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		cross    = fs.Bool("cross", false, "add Pareto bursty cross traffic (twopath/hetwireless)")
 		rwnd     = fs.Int64("rwnd", 0, "connection receive window in segments (0 = unlimited)")
-		fault    = fs.String("fault", "", `fault schedule, e.g. "path1:down@2s,up@5s;path0:flap@1s+6s/500ms" (see internal/faults)`)
-		runs     = fs.Int("runs", 1, "independent runs with seeds seed..seed+runs-1")
-		workers  = fs.Int("j", runner.DefaultWorkers(), "concurrent runs when -runs > 1")
+		fault     = fs.String("fault", "", `fault schedule, e.g. "path1:down@2s,up@5s;path0:flap@1s+6s/500ms" (see internal/faults)`)
+		runs      = fs.Int("runs", 1, "independent runs with seeds seed..seed+runs-1")
+		workers   = fs.Int("j", runner.DefaultWorkers(), "concurrent runs when -runs > 1")
+		traceOut  = fs.String("trace", "", "stream a JSONL run record to this file (per-seed files when -runs > 1)")
+		sampleInt = fs.Duration("sample-interval", 0, "run-record sampling period in simulated time (0 = 100ms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +99,7 @@ func run(args []string) error {
 		topo: *topoName, alg: *alg, subflows: *subflows, hosts: *hosts,
 		duration: *duration, transfer: *transfer, cross: *cross,
 		rwnd: *rwnd, fault: *fault,
+		trace: *traceOut, sampleInt: *sampleInt, multiTrace: *runs > 1,
 	}
 
 	if *runs <= 1 {
@@ -154,10 +169,57 @@ func setup(eng *sim.Engine, sc scenario) (*mptcp.Conn, *energy.Meter, error) {
 	return conn, meter, nil
 }
 
+// tracePath names the run record file for one seed. Single runs use the
+// -trace argument verbatim; multi-run invocations insert the seed before the
+// extension so every run keeps its own record.
+func tracePath(base string, seed int64, multi bool) string {
+	if !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + fmt.Sprintf("_seed%d", seed) + ext
+}
+
+// startTrace attaches a JSONL run recorder when -trace is set, returning a
+// finish func that completes the record after the engine has run. Both
+// returns are nil when tracing is off.
+func startTrace(eng *sim.Engine, sc scenario, seed int64, conn *mptcp.Conn, meter *energy.Meter) (func() error, error) {
+	if sc.trace == "" {
+		return nil, nil
+	}
+	f, err := os.Create(tracePath(sc.trace, seed, sc.multiTrace))
+	if err != nil {
+		return nil, err
+	}
+	rec := obsv.NewRecorder(eng, obsv.Meta{
+		Experiment: "adhoc",
+		Scenario:   sc.topo,
+		Algorithm:  sc.alg,
+		Seed:       seed,
+	}, obsv.Options{Interval: sim.FromDuration(sc.sampleInt), Stream: f})
+	rec.WatchConn("", conn)
+	rec.WatchMeter("host", meter)
+	rec.Start()
+	return func() error {
+		rec.SetSummary("goodput_mbps", conn.MeanThroughputBps()/1e6)
+		rec.SetSummary("energy_j", meter.Joules())
+		rec.SetSummary("reinjected_segs", float64(conn.ReinjectedSegs()))
+		err := rec.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}
+
 // runQuiet executes one run and returns only the summary, for -runs > 1.
 func runQuiet(sc scenario, seed int64) runResult {
 	eng := sim.NewEngine(seed)
 	conn, meter, err := setup(eng, sc)
+	if err != nil {
+		return runResult{seed: seed, err: err}
+	}
+	finish, err := startTrace(eng, sc, seed, conn, meter)
 	if err != nil {
 		return runResult{seed: seed, err: err}
 	}
@@ -170,6 +232,12 @@ func runQuiet(sc scenario, seed int64) runResult {
 	start := time.Now()
 	conn.Start()
 	eng.Run(sim.FromDuration(sc.duration))
+	meter.Flush() // integrate the residual when the horizon cut the run off
+	if finish != nil {
+		if err := finish(); err != nil {
+			return runResult{seed: seed, err: err}
+		}
+	}
 	return runResult{
 		seed:       seed,
 		simSecs:    eng.Now().Seconds(),
@@ -190,6 +258,10 @@ func runOne(sc scenario, seed int64) error {
 	if err != nil {
 		return err
 	}
+	finish, err := startTrace(eng, sc, seed, conn, meter)
+	if err != nil {
+		return err
+	}
 	if sc.transfer > 0 {
 		conn.OnComplete = func(at sim.Time) {
 			fmt.Printf("transfer completed at %.3fs\n", at.Seconds())
@@ -201,6 +273,13 @@ func runOne(sc scenario, seed int64) error {
 	start := time.Now()
 	conn.Start()
 	eng.Run(sim.FromDuration(sc.duration))
+	meter.Flush() // integrate the residual when the horizon cut the run off
+	if finish != nil {
+		if err := finish(); err != nil {
+			return err
+		}
+		fmt.Printf("trace:   %s\n", tracePath(sc.trace, seed, sc.multiTrace))
+	}
 
 	fmt.Printf("simulated %.1fs in %.2fs wall (%d events)\n",
 		eng.Now().Seconds(), time.Since(start).Seconds(), eng.Processed())

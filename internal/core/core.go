@@ -87,6 +87,17 @@ type LossObserver interface {
 	OnLoss(flows []View, r int)
 }
 
+// Introspector is implemented by algorithms that expose their internal
+// tunable components — the quantities the paper's model decomposes window
+// evolution into (ψ_r, ε_r, per-path prices, mark fractions) — for
+// observability. The returned map holds the components for subflow r
+// evaluated against the current views; keys are stable for the lifetime of
+// the instance so samplers can fix their series set up front. The map is
+// freshly allocated per call and may be retained by the caller.
+type Introspector interface {
+	Introspect(flows []View, r int) map[string]float64
+}
+
 // RoundTuner is implemented by algorithms that adjust the window once per
 // RTT round rather than per ACK (wVegas — the paper's δ=1 case — and
 // DCTCP's alpha update). The transport calls OnRound at each round boundary

@@ -118,7 +118,21 @@ func (d *DTS) Increase(flows []View, r int) float64 {
 // Decrease implements Algorithm.
 func (*DTS) Decrease(flows []View, r int) float64 { return flows[r].Cwnd / 2 }
 
+// Introspect implements Introspector: the Eq. 5 components driving subflow
+// r's window growth — the RTT ratio, ε_r and the traffic-shifting parameter
+// ψ_r = c·ε_r.
+func (d *DTS) Introspect(flows []View, r int) map[string]float64 {
+	f := flows[r]
+	eps := d.Eps(f)
+	return map[string]float64{
+		"rtt_ratio": rttRatio(f),
+		"eps":       eps,
+		"psi":       d.C * eps,
+	}
+}
+
 var _ Algorithm = (*DTS)(nil)
+var _ Introspector = (*DTS)(nil)
 
 // DTSLIA is the "Modified LIA" variant of DTS that the paper's kernel
 // experiments plot (Fig. 8): LIA's coupled increase scaled by the Eq. 5
@@ -149,7 +163,19 @@ func (d *DTSLIA) Decrease(flows []View, r int) float64 {
 	return d.lia.Decrease(flows, r)
 }
 
+// Introspect implements Introspector: the delay factor ε_r plus the LIA
+// increase it scales.
+func (d *DTSLIA) Introspect(flows []View, r int) map[string]float64 {
+	f := flows[r]
+	return map[string]float64{
+		"rtt_ratio": rttRatio(f),
+		"eps":       d.dts.Eps(f),
+		"lia_inc":   d.lia.Increase(flows, r),
+	}
+}
+
 var _ Algorithm = (*DTSLIA)(nil)
+var _ Introspector = (*DTSLIA)(nil)
 
 // DefaultKappa is the default weight κ_s of the energy price in the
 // extended algorithm (Eq. 9), calibrated so the compensative term bends the
@@ -184,7 +210,17 @@ func (d *DTSEP) Increase(flows []View, r int) float64 {
 	return inc - d.Kappa*flows[r].Cwnd*flows[r].Price
 }
 
+// Introspect implements Introspector: the DTS components plus the echoed
+// path price and the per-ACK compensative decrement φ_r it induces.
+func (d *DTSEP) Introspect(flows []View, r int) map[string]float64 {
+	m := d.DTS.Introspect(flows, r)
+	m["price"] = flows[r].Price
+	m["phi"] = d.Kappa * flows[r].Cwnd * flows[r].Price
+	return m
+}
+
 var _ Algorithm = (*DTSEP)(nil)
+var _ Introspector = (*DTSEP)(nil)
 
 // DTSEPLIA is the extended algorithm built on the Modified-LIA variant:
 // DTSLIA's increase minus the Eq. 9 compensative term.
@@ -208,4 +244,14 @@ func (d *DTSEPLIA) Increase(flows []View, r int) float64 {
 	return d.DTSLIA.Increase(flows, r) - d.Kappa*flows[r].Cwnd*flows[r].Price
 }
 
+// Introspect implements Introspector: the Modified-LIA components plus the
+// price-driven compensative decrement.
+func (d *DTSEPLIA) Introspect(flows []View, r int) map[string]float64 {
+	m := d.DTSLIA.Introspect(flows, r)
+	m["price"] = flows[r].Price
+	m["phi"] = d.Kappa * flows[r].Cwnd * flows[r].Price
+	return m
+}
+
 var _ Algorithm = (*DTSEPLIA)(nil)
+var _ Introspector = (*DTSEPLIA)(nil)

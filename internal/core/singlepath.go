@@ -87,9 +87,16 @@ func (d *DCTCP) OnRound(flows []View, r int) (cwnd, ssthresh float64) {
 // Alpha exposes the current mark-fraction estimate (for tests and traces).
 func (d *DCTCP) Alpha() float64 { return d.alpha }
 
+// Introspect implements Introspector: the mark-fraction estimate that
+// scales DCTCP's multiplicative decrease.
+func (d *DCTCP) Introspect(flows []View, r int) map[string]float64 {
+	return map[string]float64{"alpha": d.alpha}
+}
+
 var (
-	_ Algorithm   = (*DCTCP)(nil)
-	_ AckObserver = (*DCTCP)(nil)
-	_ RoundTuner  = (*DCTCP)(nil)
-	_ Algorithm   = (*Reno)(nil)
+	_ Algorithm    = (*DCTCP)(nil)
+	_ AckObserver  = (*DCTCP)(nil)
+	_ RoundTuner   = (*DCTCP)(nil)
+	_ Introspector = (*DCTCP)(nil)
+	_ Algorithm    = (*Reno)(nil)
 )

@@ -222,3 +222,98 @@ func TestEnergyFallsWithThroughputForFixedTransfer(t *testing.T) {
 		t.Errorf("energy at 1 Gb/s (%.0f J) not below energy at 200 Mb/s (%.0f J)", e1000, e200)
 	}
 }
+
+func TestMeterMeanPowerMidRunStart(t *testing.T) {
+	// Regression: MeanPower used to divide by the engine clock, so a meter
+	// started at t=3s that then ran 1 s at 5 W reported 5/4 W instead of 5 W.
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, Constant(5), func(sim.Time) Sample { return Sample{} }, 10*sim.Millisecond)
+	eng.At(3*sim.Second, m.Start)
+	eng.Run(4 * sim.Second)
+	m.Flush()
+	if math.Abs(m.Joules()-5) > 0.05 {
+		t.Errorf("Joules = %.3f for 5 W over 1 s metered, want 5", m.Joules())
+	}
+	if math.Abs(m.MeanPower()-5) > 0.05 {
+		t.Errorf("MeanPower = %.3f for a meter started mid-run, want 5 W", m.MeanPower())
+	}
+}
+
+func TestMeterStopResidual(t *testing.T) {
+	// Regression: Stop used to drop the partial interval since the last
+	// tick. A coarse-interval meter stopped off-cadence must integrate the
+	// same energy as a fine-interval one on constant power.
+	stopAt := 1045 * sim.Millisecond
+	joulesWith := func(interval sim.Time) float64 {
+		eng := sim.NewEngine(1)
+		m := NewMeter(eng, Constant(2), func(sim.Time) Sample { return Sample{} }, interval)
+		m.Start()
+		eng.At(stopAt, m.Stop)
+		eng.Run(3 * sim.Second)
+		return m.Joules()
+	}
+	fine, coarse := joulesWith(sim.Millisecond), joulesWith(250*sim.Millisecond)
+	want := 2 * stopAt.Seconds()
+	if math.Abs(fine-want) > 1e-6 {
+		t.Errorf("fine-interval Joules = %.6f, want %.6f", fine, want)
+	}
+	if math.Abs(coarse-want) > 1e-6 {
+		t.Errorf("coarse-interval Joules = %.6f, want %.6f (residual dropped?)", coarse, want)
+	}
+}
+
+func TestMeterFlushResidualAtHorizon(t *testing.T) {
+	// The engine horizon can cut the final tick off; Flush integrates the
+	// remainder so the record covers the full run.
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, Constant(4), func(sim.Time) Sample { return Sample{} }, 300*sim.Millisecond)
+	m.Start()
+	eng.Run(sim.Second) // ticks at 0.3, 0.6, 0.9; 0.1 s residual pending
+	if got := m.Joules(); math.Abs(got-3.6) > 1e-9 {
+		t.Fatalf("Joules before Flush = %.3f, want 3.6", got)
+	}
+	m.Flush()
+	if got := m.Joules(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Joules after Flush = %.3f, want 4 W * 1 s = 4", got)
+	}
+	m.Flush() // same-instant flush must not double-count
+	if got := m.Joules(); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Joules after second Flush = %.3f, want 4", got)
+	}
+}
+
+func TestMeterDoubleStart(t *testing.T) {
+	// Regression: a second Start used to schedule a second tick chain,
+	// doubling both the event load and (via duplicated intervals) the trace.
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, Constant(1), func(sim.Time) Sample { return Sample{} }, 100*sim.Millisecond)
+	m.Trace = &trace.Series{Name: "p"}
+	m.Start()
+	eng.At(500*sim.Millisecond, m.Start) // must be a no-op while running
+	eng.Run(sim.Second)
+	if m.Trace.Len() != 10 {
+		t.Errorf("trace has %d samples, want 10 (double-Start doubled the tick chain?)", m.Trace.Len())
+	}
+	if math.Abs(m.Joules()-1) > 1e-9 {
+		t.Errorf("Joules = %.3f, want 1", m.Joules())
+	}
+}
+
+func TestMeterRestartAfterStop(t *testing.T) {
+	// Start after Stop resumes metering: joules and the metered span extend,
+	// and the gap contributes neither.
+	eng := sim.NewEngine(1)
+	m := NewMeter(eng, Constant(3), func(sim.Time) Sample { return Sample{} }, 10*sim.Millisecond)
+	m.Start()
+	eng.At(sim.Second, m.Stop)
+	eng.At(3*sim.Second, m.Start)
+	eng.Run(4 * sim.Second)
+	m.Flush()
+	// 1 s metered + 1 s gap-free restart span = 2 s at 3 W.
+	if math.Abs(m.Joules()-6) > 0.05 {
+		t.Errorf("Joules = %.3f across Stop/Start, want 6", m.Joules())
+	}
+	if math.Abs(m.MeanPower()-3) > 0.05 {
+		t.Errorf("MeanPower = %.3f across Stop/Start, want 3 W", m.MeanPower())
+	}
+}

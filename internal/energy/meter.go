@@ -18,6 +18,13 @@ type Probe func(window sim.Time) Sample
 // Meter integrates a power model over simulated time: every interval it
 // probes the host's activity, evaluates the model and accumulates
 // P·Δt joules, optionally recording the power time series.
+//
+// The meter only accounts for time while it is running: Start marks the
+// beginning of the metered span, Stop integrates the residual partial
+// interval and halts sampling, and MeanPower divides by the metered span —
+// not the engine clock — so a meter started mid-run reports the correct
+// average. Start while running is a no-op (no double-counting); Start after
+// Stop resumes metering, extending the same accumulators.
 type Meter struct {
 	eng      *sim.Engine
 	model    Model
@@ -25,8 +32,11 @@ type Meter struct {
 	interval sim.Time
 
 	joules   float64
+	metered  sim.Time // total span integrated so far
 	lastTick sim.Time
+	started  bool
 	stopped  bool
+	armed    bool // a tick is scheduled and will fire
 	tickFn   func()
 
 	// Trace, when set before Start, receives (time, watts) samples.
@@ -44,40 +54,75 @@ func NewMeter(eng *sim.Engine, model Model, probe Probe, interval sim.Time) *Met
 }
 
 // Start begins periodic sampling. The meter reschedules itself until Stop
-// is called or the engine's horizon cuts it off.
+// is called or the engine's horizon cuts it off. Calling Start on a running
+// meter is a no-op; calling it after Stop resumes metering from now.
 func (m *Meter) Start() {
+	if m.started && !m.stopped {
+		return
+	}
+	m.started = true
+	m.stopped = false
 	m.lastTick = m.eng.Now()
-	m.eng.ScheduleAfter(m.interval, m.tickFn)
+	if !m.armed {
+		m.armed = true
+		m.eng.ScheduleAfter(m.interval, m.tickFn)
+	}
 }
 
-// Stop halts sampling after the current interval.
-func (m *Meter) Stop() { m.stopped = true }
+// Stop integrates the residual partial interval since the last tick and
+// halts sampling. Stop on an idle meter is a no-op.
+func (m *Meter) Stop() {
+	if !m.started || m.stopped {
+		return
+	}
+	m.Flush()
+	m.stopped = true
+}
 
-func (m *Meter) tick() {
-	if m.stopped {
+// Flush integrates the span since the last tick immediately, without
+// waiting for the next scheduled tick. Call it after the engine's horizon
+// cuts sampling off (eng.Run returned before the final tick fired) so
+// Joules and MeanPower cover the full run rather than dropping the last
+// partial interval. Flushing a stopped or never-started meter is a no-op.
+func (m *Meter) Flush() {
+	if !m.started || m.stopped {
 		return
 	}
 	now := m.eng.Now()
 	dt := now - m.lastTick
+	if dt <= 0 {
+		return
+	}
 	m.lastTick = now
+	m.metered += dt
 	watts := m.model.Power(m.probe(dt))
 	m.joules += watts * dt.Seconds()
 	if m.Trace != nil {
 		m.Trace.Add(now, watts)
 	}
+}
+
+func (m *Meter) tick() {
+	m.armed = false
+	if m.stopped {
+		return
+	}
+	m.Flush()
+	m.armed = true
 	m.eng.ScheduleAfter(m.interval, m.tickFn)
 }
 
 // Joules returns the energy integrated so far.
 func (m *Meter) Joules() float64 { return m.joules }
 
-// MeanPower returns the average power over the metered span so far.
+// MeanPower returns the average power over the metered span so far — the
+// time the meter was actually running, not the engine clock, so a meter
+// started mid-run is not diluted by the unmetered prefix.
 func (m *Meter) MeanPower() float64 {
-	elapsed := m.eng.Now()
-	if elapsed <= 0 {
+	if m.metered <= 0 {
 		return 0
 	}
-	return m.joules / elapsed.Seconds()
+	return m.joules / m.metered.Seconds()
 }
 
 // ConnProbe builds a Probe over a set of connections terminating at one

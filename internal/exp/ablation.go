@@ -28,8 +28,9 @@ func tcpConfigHystart(disable bool) tcp.Config {
 // shiftRunWith runs the Fig. 5b scenario with an explicit algorithm
 // instance (for parameterized variants outside the registry). Algorithm
 // instances carry per-run state, so callers running on the pool must
-// construct a fresh instance per run.
-func shiftRunWith(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, joules float64, events uint64) {
+// construct a fresh instance per run. expID and scenario identify the run
+// record when Config.OutDir is set.
+func shiftRunWith(cfg Config, expID, scenario string, seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	tp := topo.NewTwoPath(eng, topo.TwoPathConfig{Rate: 50 * netem.Mbps})
 	for i := 0; i < 2; i++ {
@@ -38,8 +39,16 @@ func shiftRunWith(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, jo
 	conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia"}, 1, tp.Paths()...)
 	replaceAlg(conn, alg)
 	meter := meterFor(eng, energy.NewI7(), conn)
+	obs := cfg.observe(eng, expID, scenario, alg.Name(), seed)
+	obs.Conn("", conn)
+	obs.Meter("host", meter)
+	obs.Start()
 	conn.Start()
 	eng.Run(horizon)
+	meter.Flush()
+	obs.Summary("throughput_mbps", conn.MeanThroughputBps()/1e6)
+	obs.Summary("energy_j", meter.Joules())
+	obs.Close()
 	return conn.MeanThroughputBps(), meter.Joules(), eng.Processed()
 }
 
@@ -62,7 +71,7 @@ func AblationC(cfg Config) *Result {
 	outs := runPar(cfg, len(cs)*reps, func(i int) ablOut {
 		c, r := cs[i/reps], i%reps
 		// A fresh DTS instance per run: algorithm state is per-connection.
-		tp, j, ev := shiftRunWith(cfg.Seed+int64(r), &core.DTS{C: c}, horizon)
+		tp, j, ev := shiftRunWith(cfg, "abl-c", fmt.Sprintf("burst-c%g", c), cfg.Seed+int64(r), &core.DTS{C: c}, horizon)
 		return ablOut{tput: tp, joules: j, events: ev}
 	})
 	for ci, c := range cs {
@@ -116,7 +125,7 @@ func AblationKappa(cfg Config) *Result {
 	}
 	outs := runPar(cfg, len(kappas)*reps, func(i int) kappaOut {
 		kappa, r := kappas[i/reps], i%reps
-		tp, sh, ev := pricedShiftRun(cfg.Seed+int64(r), core.NewDTSEPLIA(kappa), horizon)
+		tp, sh, ev := pricedShiftRun(cfg, fmt.Sprintf("priced-kappa%g", kappa), cfg.Seed+int64(r), core.NewDTSEPLIA(kappa), horizon)
 		return kappaOut{tput: tp, share: sh, events: ev}
 	})
 	for ki, kappa := range kappas {
@@ -136,7 +145,7 @@ func AblationKappa(cfg Config) *Result {
 
 // pricedShiftRun runs two clean 50 Mb/s paths with the second one charged
 // an energy price, returning goodput and the priced path's traffic share.
-func pricedShiftRun(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, pricedShare float64, events uint64) {
+func pricedShiftRun(cfg Config, scenario string, seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, pricedShare float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	tp := topo.NewTwoPath(eng, topo.TwoPathConfig{Rate: 50 * netem.Mbps})
 	for _, l := range tp.Paths()[1].Forward {
@@ -144,14 +153,24 @@ func pricedShiftRun(seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, 
 	}
 	conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia"}, 1, tp.Paths()...)
 	replaceAlg(conn, alg)
+	obs := cfg.observe(eng, "abl-kappa", scenario, alg.Name(), seed)
+	obs.Conn("", conn)
+	obs.Start()
 	conn.Start()
 	eng.Run(horizon)
 	a0 := float64(conn.Subflows()[0].Acked())
 	a1 := float64(conn.Subflows()[1].Acked())
+	share := 0.0
+	if a0+a1 > 0 {
+		share = a1 / (a0 + a1)
+	}
+	obs.Summary("throughput_mbps", conn.MeanThroughputBps()/1e6)
+	obs.Summary("priced_path_share", share)
+	obs.Close()
 	if a0+a1 == 0 {
 		return 0, 0, eng.Processed()
 	}
-	return conn.MeanThroughputBps(), a1 / (a0 + a1), eng.Processed()
+	return conn.MeanThroughputBps(), share, eng.Processed()
 }
 
 // AblationHystart compares the transport with and without the delay-based
@@ -179,10 +198,17 @@ func AblationHystart(cfg Config) *Result {
 			TransferBytes: transfer,
 			Transport:     tcpConfigHystart(disable),
 		}, 1, p)
+		obs := cfg.observe(eng, "abl-hystart", fmt.Sprintf("hystart-%v", !disable), "reno", cfg.Seed)
+		obs.Conn("", conn)
+		obs.Start()
 		conn.OnComplete = func(sim.Time) { eng.Stop() }
 		conn.Start()
 		eng.Run(600 * sim.Second)
 		st := conn.Subflows()[0].Stats()
+		obs.Summary("completion_s", conn.CompletedAt().Seconds())
+		obs.Summary("loss_events", float64(st.LossEvents))
+		obs.Summary("rtx", float64(st.PktsRtx))
+		obs.Close()
 		return runRow{events: eng.Processed(), cells: []string{
 			fmt.Sprintf("%v", !disable),
 			fmtF(conn.CompletedAt().Seconds(), 2),
@@ -213,7 +239,7 @@ func AblationPathsel(cfg Config) *Result {
 	approaches := []string{"lia", "dts-lia", "lia+selector"}
 	outs := runPar(cfg, len(approaches)*reps, func(i int) ablOut {
 		approach, r := approaches[i/reps], i%reps
-		tp, j, ev := pathselRun(cfg.Seed+int64(r), approach, horizon)
+		tp, j, ev := pathselRun(cfg, cfg.Seed+int64(r), approach, horizon)
 		return ablOut{tput: tp, joules: j, events: ev}
 	})
 	for ai, approach := range approaches {
@@ -234,7 +260,7 @@ func AblationPathsel(cfg Config) *Result {
 }
 
 // pathselRun runs the Fig. 17 wireless scenario with the given approach.
-func pathselRun(seed int64, approach string, horizon sim.Time) (tputBps, joules float64, events uint64) {
+func pathselRun(cfg Config, seed int64, approach string, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	het := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
 	workload.NewParetoOnOff(eng, []*netem.Link{het.CrossEntry(0)}, workload.ParetoConfig{
@@ -253,8 +279,15 @@ func pathselRun(seed int64, approach string, horizon sim.Time) (tputBps, joules 
 			pathsel.Config{}).Start()
 	}
 	meter := newHandsetMeter(eng, conn, true)
+	obs := cfg.observe(eng, "abl-pathsel", "hetwireless", approach, seed)
+	obs.Conn("", conn)
+	obs.Sample("host.joules", func() float64 { return meter.joules })
+	obs.Start()
 	conn.Start()
 	eng.Run(horizon)
+	obs.Summary("throughput_mbps", conn.MeanThroughputBps()/1e6)
+	obs.Summary("energy_j", meter.joules)
+	obs.Close()
 	return conn.MeanThroughputBps(), meter.joules, eng.Processed()
 }
 

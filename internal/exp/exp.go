@@ -36,6 +36,14 @@ type Config struct {
 	// Output tables are byte-identical for every value (seeds derive from
 	// run identity, results collect by submission index).
 	Workers int
+	// OutDir, when set, writes one run record per (algorithm, scenario,
+	// seed) under it: <exp>_<alg>_<scenario>_seed<N>.jsonl plus a matching
+	// .csv (see internal/obsv). Record contents derive only from each run's
+	// own engine, so they are byte-identical for every Workers value.
+	OutDir string
+	// SampleInterval is the record sampling period (0 takes
+	// obsv.DefaultInterval).
+	SampleInterval sim.Time
 }
 
 func (c Config) withDefaults() Config {

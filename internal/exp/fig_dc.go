@@ -49,6 +49,7 @@ func Fig10(cfg Config) *Result {
 		eng := sim.NewEngine(cfg.Seed)
 		vpc := topo.NewEC2VPC(eng, topo.EC2Config{Hosts: hosts, MarkThreshold: 20})
 		perm := workload.Permutation(eng, hosts)
+		obs := cfg.observe(eng, "fig10", fmt.Sprintf("ec2-%dhosts", hosts), a.name, cfg.Seed)
 
 		remaining := hosts
 		meters := make([]*energy.Meter, hosts)
@@ -59,6 +60,10 @@ func Fig10(cfg Config) *Result {
 				mptcp.Config{Algorithm: a.name, TransferBytes: transfer},
 				uint64(h+1), vpc.Paths(h, perm[h], a.paths)...)
 			meters[h] = meterFor(eng, energy.NewXeon(), conn)
+			if h == 0 {
+				obs.Conn("host0.", conn)
+				obs.Meter("host0.host", meters[h])
+			}
 			conn.OnComplete = func(at sim.Time) {
 				meters[h].Stop()
 				doneSum += at.Seconds()
@@ -69,11 +74,16 @@ func Fig10(cfg Config) *Result {
 			}
 			conn.Start()
 		}
+		obs.Start()
 		eng.Run(4000 * sim.Second)
 		var joules float64
 		for _, m := range meters {
+			m.Flush() // transfers the horizon cut off still owe their residual
 			joules += m.Joules()
 		}
+		obs.Summary("aggregate_j", joules)
+		obs.Summary("mean_completion_s", doneSum/float64(hosts))
+		obs.Close()
 		return outcome{joules: joules, meanDone: doneSum / float64(hosts), events: eng.Processed()}
 	})
 	base := outcomes[0].joules // algs[0] is reno
@@ -154,8 +164,9 @@ func dcPricedLinks(net dcNet) {
 // extra subflows cannot add capacity in the single-NIC FatTree/VL2 hosts
 // but keep helping BCube's multi-NIC servers. It returns aggregate energy
 // (J), aggregate goodput (bytes) and the mean per-connection throughput
-// (b/s).
-func dcRun(net dcNet, eng *sim.Engine, alg string, subflows int, horizon sim.Time, priced bool) (joules float64, bytes uint64, meanTput float64) {
+// (b/s). obs (which may be nil) records host 0's connection and meter plus
+// the aggregate outcome, and is closed before dcRun returns.
+func dcRun(net dcNet, eng *sim.Engine, alg string, subflows int, horizon sim.Time, priced bool, obs *expObs) (joules float64, bytes uint64, meanTput float64) {
 	if priced {
 		dcPricedLinks(net)
 	}
@@ -171,15 +182,24 @@ func dcRun(net dcNet, eng *sim.Engine, alg string, subflows int, horizon sim.Tim
 			uint64(h+1), net.Paths(h, dst, subflows)...)
 		conns = append(conns, conn)
 		meters = append(meters, meterFor(eng, energy.NewI7(), conn))
+		if h == 0 {
+			obs.Conn("host0.", conn)
+			obs.Meter("host0.host", meters[h])
+		}
 		conn.Start()
 	}
+	obs.Start()
 	eng.Run(horizon)
 	for i, c := range conns {
+		meters[i].Flush()
 		joules += meters[i].Joules()
 		bytes += c.AckedBytes()
 		meanTput += c.MeanThroughputBps()
 	}
 	meanTput /= float64(hosts)
+	obs.Summary("aggregate_j", joules)
+	obs.Summary("agg_goodput_mbps", float64(bytes)*8/horizon.Seconds()/1e6)
+	obs.Close()
 	return joules, bytes, meanTput
 }
 
@@ -200,7 +220,8 @@ func dcOverheadSweep(cfg Config, kind, expect string) *Result {
 		nsub, r := subflows[i/reps], i%reps
 		eng := sim.NewEngine(cfg.Seed + int64(r))
 		net := dcBuild(eng, kind, cfg.Scale)
-		j, b, _ := dcRun(net, eng, "lia", nsub, horizon, false)
+		obs := cfg.observe(eng, res.ID, fmt.Sprintf("%s-%dsub", kind, nsub), "lia", cfg.Seed+int64(r))
+		j, b, _ := dcRun(net, eng, "lia", nsub, horizon, false, obs)
 		return dcOut{joules: j, bytes: b, events: eng.Processed()}
 	})
 	for s, nsub := range subflows {
@@ -249,8 +270,9 @@ func Fig14(cfg Config) *Result {
 
 // dcCompareAlgs runs the priced FatTree/VL2 experiment behind Figs. 15-16:
 // LIA vs DTS vs extended DTS with 8 subflows. It also returns the total
-// events processed.
-func dcCompareAlgs(cfg Config) (map[string]map[string][3]float64, uint64) {
+// events processed. expID names the figure the run records (if any) are
+// filed under — Fig15 and Fig16 re-run the same experiment independently.
+func dcCompareAlgs(cfg Config, expID string) (map[string]map[string][3]float64, uint64) {
 	cfg = cfg.withDefaults()
 	horizon := cfg.scaledTime(60*sim.Second, 10*sim.Second)
 	reps := cfg.reps(3)
@@ -262,7 +284,8 @@ func dcCompareAlgs(cfg Config) (map[string]map[string][3]float64, uint64) {
 		r := i % reps
 		eng := sim.NewEngine(cfg.Seed + int64(r))
 		net := dcBuild(eng, kind, cfg.Scale)
-		j, b, _ := dcRun(net, eng, alg, 8, horizon, true)
+		obs := cfg.observe(eng, expID, fmt.Sprintf("%s-priced-8sub", kind), alg, cfg.Seed+int64(r))
+		j, b, _ := dcRun(net, eng, alg, 8, horizon, true, obs)
 		return dcOut{joules: j, bytes: b, events: eng.Processed()}
 	})
 	var events uint64
@@ -298,7 +321,7 @@ func Fig15(cfg Config) *Result {
 			"paper expectation: the extended algorithm saves up to ~20% energy cost vs LIA",
 		},
 	}
-	data, events := dcCompareAlgs(cfg)
+	data, events := dcCompareAlgs(cfg, "fig15")
 	res.Events = events
 	for _, kind := range []string{"fattree", "vl2"} {
 		base := data[kind]["lia"][0]
@@ -321,7 +344,7 @@ func Fig16(cfg Config) *Result {
 			"paper expectation: DTS gets as good utilization as LIA",
 		},
 	}
-	data, events := dcCompareAlgs(cfg)
+	data, events := dcCompareAlgs(cfg, "fig16")
 	res.Events = events
 	for _, kind := range []string{"fattree", "vl2"} {
 		base := data[kind]["lia"][1]

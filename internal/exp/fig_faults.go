@@ -30,10 +30,12 @@ type faultsOutcome struct {
 // runFaultScenario executes one algorithm under one fault scenario. Fault
 // instants are fractions of the horizon so every Scale still exercises
 // failure, survival and recovery before the transfer would finish.
-func runFaultScenario(seed int64, alg, scenario string, horizon sim.Time) faultsOutcome {
+func runFaultScenario(cfg Config, seed int64, alg, scenario string, horizon sim.Time) faultsOutcome {
 	eng := sim.NewEngine(seed)
+	obs := cfg.observe(eng, "faults", scenario, alg, seed)
 	var conn *mptcp.Conn
 	var joules func() float64
+	flush := func() {}
 
 	// Size the transfer so the fault hits mid-transfer AND the faulted
 	// path's return (outage heals, flap cycles) still matters before the
@@ -54,6 +56,8 @@ func runFaultScenario(seed int64, alg, scenario string, horizon sim.Time) faults
 		conn = mptcp.MustNew(eng, mptcp.Config{Algorithm: alg, TransferBytes: bytes}, 1, tp.Paths()...)
 		m := meterFor(eng, energy.NewI7(), conn)
 		joules = m.Joules
+		flush = m.Flush
+		obs.Meter("host", m)
 		if scenario == "outage" {
 			faults.Apply(eng, tp.Paths()[1], faults.Outage{Down: horizon / 6, Up: horizon / 2})
 		} else {
@@ -69,6 +73,7 @@ func runFaultScenario(seed int64, alg, scenario string, horizon sim.Time) faults
 		conn = mptcp.MustNew(eng, mptcp.Config{Algorithm: alg, TransferBytes: bytes}, 1, het.Paths()...)
 		m := newHandsetMeter(eng, conn, true)
 		joules = func() float64 { return m.joules }
+		obs.Sample("host.joules", joules)
 		// The user walks away from the AP: WiFi degrades to 1 Mb/s and
 		// 100 ms per hop, drops entirely, then comes back and recovers as
 		// they return — the paper's mobility story as a fault schedule.
@@ -81,8 +86,11 @@ func runFaultScenario(seed int64, alg, scenario string, horizon sim.Time) faults
 		panic("exp: unknown fault scenario " + scenario)
 	}
 
+	obs.Conn("", conn)
+	obs.Start()
 	conn.Start()
 	eng.Run(horizon)
+	flush()
 
 	completed := horizon
 	if conn.Done() {
@@ -97,6 +105,11 @@ func runFaultScenario(seed int64, alg, scenario string, horizon sim.Time) faults
 		out.goodputMbps = float64(conn.AckedBytes()) * 8 / completed.Seconds() / 1e6
 	}
 	out.jPerGbit = energy.PerGigabit(joules(), conn.AckedBytes())
+	obs.Summary("completed_s", out.completedS)
+	obs.Summary("goodput_mbps", out.goodputMbps)
+	obs.Summary("j_per_gbit", out.jPerGbit)
+	obs.Summary("reinjected_segs", out.reinjected)
+	obs.Close()
 	return out
 }
 
@@ -121,7 +134,7 @@ func FigFaults(cfg Config) *Result {
 		scenario := scenarios[i/(len(algs)*reps)]
 		alg := algs[i/reps%len(algs)]
 		r := i % reps
-		return runFaultScenario(cfg.Seed+int64(r), alg, scenario, horizon)
+		return runFaultScenario(cfg, cfg.Seed+int64(r), alg, scenario, horizon)
 	})
 	for s, scenario := range scenarios {
 		for a, alg := range algs {

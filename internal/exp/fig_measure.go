@@ -85,8 +85,16 @@ func Fig1(cfg Config) *Result {
 		}
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: algFor(sp.nsub)}, 1, repeatPaths(paths, sp.nsub)...)
 		meter := meterFor(eng, energy.NewI7(), conn)
+		obs := cfg.observe(eng, "fig1", fmt.Sprintf("%s-%dsub", sp.label, sp.nsub), algFor(sp.nsub), cfg.Seed)
+		obs.Conn("", conn)
+		obs.Meter("host", meter)
+		obs.Start()
 		conn.Start()
 		eng.Run(horizon)
+		meter.Flush()
+		obs.Summary("throughput_mbps", conn.MeanThroughputBps()/1e6)
+		obs.Summary("power_w", meter.MeanPower())
+		obs.Close()
 		return runRow{events: eng.Processed(), cells: []string{
 			sp.label, fmt.Sprintf("%d", sp.nsub),
 			fmtF(conn.MeanThroughputBps()/1e6, 1), fmtF(meter.MeanPower(), 2)}}
@@ -142,8 +150,15 @@ func Fig2(cfg Config) *Result {
 		}
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: alg}, 1, paths...)
 		meter := newHandsetMeter(eng, conn, sp.useWiFi && sp.useLTE)
+		obs := cfg.observe(eng, "fig2", sp.label, alg, cfg.Seed)
+		obs.Conn("", conn)
+		obs.Sample("host.joules", func() float64 { return meter.joules })
+		obs.Start()
 		conn.Start()
 		eng.Run(horizon)
+		obs.Summary("throughput_mbps", conn.MeanThroughputBps()/1e6)
+		obs.Summary("power_w", meter.MeanPower())
+		obs.Close()
 		return runRow{events: eng.Processed(), cells: []string{
 			sp.label, fmtF(conn.MeanThroughputBps()/1e6, 1), fmtF(meter.MeanPower(), 2)}}
 	}))
@@ -225,6 +240,10 @@ func Fig3a(cfg Config) *Result {
 		paths := twoNICPaths(eng, mbps/2*netem.Mbps, 150*sim.Microsecond)
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia", TransferBytes: transfer}, 1, paths...)
 		meter := meterFor(eng, energy.NewI7(), conn)
+		obs := cfg.observe(eng, "fig3a", fmt.Sprintf("wired-%dmbps", mbps), "lia", cfg.Seed)
+		obs.Conn("", conn)
+		obs.Meter("host", meter)
+		obs.Start()
 		var done sim.Time
 		conn.OnComplete = func(at sim.Time) {
 			done = at
@@ -235,7 +254,11 @@ func Fig3a(cfg Config) *Result {
 		eng.Run(2000 * sim.Second)
 		if done == 0 {
 			done = eng.Now()
+			meter.Flush()
 		}
+		obs.Summary("energy_j", meter.Joules())
+		obs.Summary("time_s", done.Seconds())
+		obs.Close()
 		return runRow{events: eng.Processed(), cells: []string{
 			fmt.Sprintf("%d", mbps),
 			fmtF(conn.MeanThroughputBps()/1e6, 1),
@@ -269,6 +292,10 @@ func Fig3b(cfg Config) *Result {
 		p := &netem.Path{Name: "wifi", Forward: []*netem.Link{fwd}, Reverse: []*netem.Link{rev}}
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "reno", TransferBytes: transfer}, 1, p)
 		meter := meterFor(eng, energy.NewWiFi(), conn)
+		obs := cfg.observe(eng, "fig3b", fmt.Sprintf("wifi-%dmbps", mbps), "reno", cfg.Seed)
+		obs.Conn("", conn)
+		obs.Meter("host", meter)
+		obs.Start()
 		var done sim.Time
 		conn.OnComplete = func(at sim.Time) {
 			done = at
@@ -279,7 +306,11 @@ func Fig3b(cfg Config) *Result {
 		eng.Run(4000 * sim.Second)
 		if done == 0 {
 			done = eng.Now()
+			meter.Flush()
 		}
+		obs.Summary("energy_j", meter.Joules())
+		obs.Summary("time_s", done.Seconds())
+		obs.Close()
 		return runRow{events: eng.Processed(), cells: []string{
 			fmt.Sprintf("%d", mbps),
 			fmtF(conn.MeanThroughputBps()/1e6, 1),
@@ -319,6 +350,10 @@ func Fig4(cfg Config) *Result {
 		paths := fixedQueuePaths(eng, 100*netem.Mbps, delay, 100)
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia"}, 1, paths...)
 		meter := meterFor(eng, energy.NewI7(), conn)
+		obs := cfg.observe(eng, "fig4", fmt.Sprintf("delay-%dus", delay/sim.Microsecond), "lia", cfg.Seed)
+		obs.Conn("", conn)
+		obs.Meter("host", meter)
+		obs.Start()
 		conn.Start()
 		// Discard the startup transient so the longer-RTT runs are
 		// measured at the same steady throughput as the short ones.
@@ -326,9 +361,13 @@ func Fig4(cfg Config) *Result {
 		eng.Run(warmup)
 		bytes0, joules0 := conn.AckedBytes(), meter.Joules()
 		eng.Run(warmup + horizon)
+		meter.Flush()
 		window := horizon.Seconds()
 		tput := float64(conn.AckedBytes()-bytes0) * 8 / window
 		power := (meter.Joules() - joules0) / window
+		obs.Summary("throughput_mbps", tput/1e6)
+		obs.Summary("power_w", power)
+		obs.Close()
 		return runRow{events: eng.Processed(), cells: []string{
 			fmtF(delay.Seconds()*1000, 1),
 			fmtF(conn.MeanSRTTSeconds()*1000, 1),

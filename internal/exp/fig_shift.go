@@ -46,7 +46,7 @@ func Fig6(cfg Config) *Result {
 	}
 	res.addRows(runPar(cfg, len(specs), func(i int) runRow {
 		sp := specs[i]
-		energies, events := fig6UserEnergies(cfg.Seed, sp.n, sp.alg, transfer)
+		energies, events := fig6UserEnergies(cfg, sp.n, sp.alg, transfer)
 		b := stats.NewBox(energies)
 		return runRow{events: events, cells: []string{
 			fmt.Sprintf("%d", sp.n), sp.alg,
@@ -58,9 +58,12 @@ func Fig6(cfg Config) *Result {
 
 // fig6UserEnergies runs one Fig. 5a experiment and returns the per-user
 // energy consumption of the N MPTCP transfers plus the events processed.
-func fig6UserEnergies(seed int64, n int, alg string, transfer int64) ([]float64, uint64) {
-	eng := sim.NewEngine(seed)
+// When records are exported, user 0 is the observed connection (one record
+// per run; the other users are statistically equivalent).
+func fig6UserEnergies(cfg Config, n int, alg string, transfer int64) ([]float64, uint64) {
+	eng := sim.NewEngine(cfg.Seed)
 	d := topo.NewDumbbell(eng, topo.DumbbellConfig{Users: 3 * n})
+	obs := cfg.observe(eng, "fig6", fmt.Sprintf("dumbbell-%dusers", n), alg, cfg.Seed)
 
 	remaining := n
 	meters := make([]*energy.Meter, n)
@@ -69,6 +72,10 @@ func fig6UserEnergies(seed int64, n int, alg string, transfer int64) ([]float64,
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: alg, TransferBytes: transfer},
 			uint64(u+1), d.MPTCPPaths(u)...)
 		meters[u] = meterFor(eng, energy.NewI7(), conn)
+		if u == 0 {
+			obs.Conn("user0.", conn)
+			obs.Meter("user0.host", meters[u])
+		}
 		conn.OnComplete = func(sim.Time) {
 			meters[u].Stop()
 			remaining--
@@ -85,12 +92,16 @@ func fig6UserEnergies(seed int64, n int, alg string, transfer int64) ([]float64,
 		t0.Start()
 		t1.Start()
 	}
+	obs.Start()
 	eng.Run(600 * sim.Second)
 
 	out := make([]float64, n)
 	for u, m := range meters {
+		m.Flush() // integrate the residual for transfers cut off by the horizon
 		out[u] = m.Joules()
 	}
+	obs.Summary("user0_energy_j", out[0])
+	obs.Close()
 	return out, eng.Processed()
 }
 
@@ -99,8 +110,9 @@ var fig7Algorithms = []string{"lia", "olia", "balia", "ecmtcp", "wvegas"}
 
 // shiftRun runs one Fig. 5b experiment: an MPTCP connection over two paths
 // with Pareto bursty cross traffic on each, returning mean goodput (b/s),
-// sender energy (J) and events processed.
-func shiftRun(seed int64, alg string, horizon sim.Time) (tputBps, joules float64, events uint64) {
+// sender energy (J) and events processed. expID names the figure the run
+// record (if any) is filed under.
+func shiftRun(cfg Config, expID string, seed int64, alg string, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	// 45 Mb/s bursts on a 50 Mb/s path genuinely flip it to the Bad
 	// state of Fig. 5b; on a faster path they would barely register.
@@ -115,8 +127,16 @@ func shiftRun(seed int64, alg string, horizon sim.Time) (tputBps, joules float64
 	}
 	conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: alg}, 1, tp.Paths()...)
 	meter := meterFor(eng, energy.NewI7(), conn)
+	obs := cfg.observe(eng, expID, "burst-twopath", alg, seed)
+	obs.Conn("", conn)
+	obs.Meter("host", meter)
+	obs.Start()
 	conn.Start()
 	eng.Run(horizon)
+	meter.Flush()
+	obs.Summary("throughput_mbps", conn.MeanThroughputBps()/1e6)
+	obs.Summary("energy_j", meter.Joules())
+	obs.Close()
 	return conn.MeanThroughputBps(), meter.Joules(), eng.Processed()
 }
 
@@ -142,7 +162,7 @@ func Fig7(cfg Config) *Result {
 	// the repetition index, exactly as the sequential loops derived it.
 	outs := runPar(cfg, len(fig7Algorithms)*reps, func(i int) shiftOut {
 		alg, r := fig7Algorithms[i/reps], i%reps
-		tp, j, ev := shiftRun(cfg.Seed+int64(r), alg, horizon)
+		tp, j, ev := shiftRun(cfg, "fig7", cfg.Seed+int64(r), alg, horizon)
 		return shiftOut{tput: tp, joules: j, events: ev}
 	})
 	for a, alg := range fig7Algorithms {
@@ -193,6 +213,10 @@ func Fig8(cfg Config) *Result {
 		}
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: alg}, 1, tp.Paths()...)
 		meter := meterFor(eng, energy.NewI7(), conn)
+		obs := cfg.observe(eng, "fig8", "burst-twopath", alg, cfg.Seed)
+		obs.Conn("", conn)
+		obs.Meter("host", meter)
+		obs.Start()
 		conn.Start()
 		var out traceOut
 		var lastBytes uint64
@@ -205,6 +229,9 @@ func Fig8(cfg Config) *Result {
 				fmtF(float64(delta)*8/step.Seconds()/1e6, 1),
 				fmtF(meter.Joules(), 1)})
 		}
+		meter.Flush()
+		obs.Summary("energy_j", meter.Joules())
+		obs.Close()
 		out.events = eng.Processed()
 		return out
 	})
@@ -240,7 +267,7 @@ func Fig9(cfg Config) *Result {
 	}
 	outs := runPar(cfg, len(algs)*reps, func(i int) shiftOut {
 		alg, r := algs[i/reps], i%reps
-		tp, j, ev := shiftRun(cfg.Seed+int64(r), alg, horizon)
+		tp, j, ev := shiftRun(cfg, "fig9", cfg.Seed+int64(r), alg, horizon)
 		return shiftOut{tput: tp, joules: j, events: ev}
 	})
 	for a, alg := range algs {

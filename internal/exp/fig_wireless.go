@@ -16,8 +16,9 @@ import (
 // paper's ns-2 setup; handset energy comes from the Nexus radio models.
 
 // fig17Run executes one 200 s (scaled) run and returns goodput (b/s),
-// handset energy (J) and events processed.
-func fig17Run(seed int64, alg string, horizon sim.Time, priceLTE bool) (tputBps, joules float64, events uint64) {
+// handset energy (J) and events processed. expID names the figure the run
+// record (if any) is filed under.
+func fig17Run(cfg Config, expID string, seed int64, alg string, horizon sim.Time, priceLTE bool) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
 	het := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
 	if priceLTE {
@@ -41,8 +42,19 @@ func fig17Run(seed int64, alg string, horizon sim.Time, priceLTE bool) (tputBps,
 	conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: alg, RwndSegments: rwnd64KB},
 		1, het.Paths()...)
 	meter := newHandsetMeter(eng, conn, true)
+	scenario := "hetwireless"
+	if priceLTE {
+		scenario = "hetwireless-priced"
+	}
+	obs := cfg.observe(eng, expID, scenario, alg, seed)
+	obs.Conn("", conn)
+	obs.Sample("host.joules", func() float64 { return meter.joules })
+	obs.Start()
 	conn.Start()
 	eng.Run(horizon)
+	obs.Summary("throughput_mbps", conn.MeanThroughputBps()/1e6)
+	obs.Summary("energy_j", meter.joules)
+	obs.Close()
 	return conn.MeanThroughputBps(), meter.joules, eng.Processed()
 }
 
@@ -70,7 +82,7 @@ func Fig17(cfg Config) *Result {
 	}
 	outs := runPar(cfg, len(algs)*reps, func(i int) wlOut {
 		alg, r := algs[i/reps], i%reps
-		tp, j, ev := fig17Run(cfg.Seed+int64(r), alg, horizon, alg == "dtsep")
+		tp, j, ev := fig17Run(cfg, "fig17", cfg.Seed+int64(r), alg, horizon, alg == "dtsep")
 		return wlOut{tput: tp, joules: j, events: ev}
 	})
 	for a, alg := range algs {

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mptcpsim/internal/energy"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/obsv"
+	"mptcpsim/internal/sim"
+)
+
+// expObs wraps an obsv.Recorder streaming to one JSONL file under
+// Config.OutDir, plus the retained rows the matching CSV is written from at
+// Close. A nil *expObs is valid and inert, so run closures register
+// observables unconditionally and recording only happens when OutDir is set.
+type expObs struct {
+	rec  *obsv.Recorder
+	file *os.File
+	base string // path without extension
+}
+
+// observe opens the run record for one (experiment, scenario, algorithm,
+// seed) run, or returns nil when the config does not export records. The
+// returned observer is not yet sampling: register observables (Conn, Meter,
+// Sample), then call Start before running the engine and Close after.
+// Failures panic — record export is explicitly requested, and a partial
+// record set silently missing runs would be worse than stopping.
+func (c Config) observe(eng *sim.Engine, expID, scenario, alg string, seed int64) *expObs {
+	if c.OutDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.OutDir, 0o755); err != nil {
+		panic(fmt.Errorf("exp: creating record dir: %w", err))
+	}
+	base := filepath.Join(c.OutDir, fmt.Sprintf("%s_%s_%s_seed%d", slug(expID), slug(alg), slug(scenario), seed))
+	f, err := os.Create(base + ".jsonl")
+	if err != nil {
+		panic(fmt.Errorf("exp: creating record: %w", err))
+	}
+	rec := obsv.NewRecorder(eng, obsv.Meta{
+		Experiment: expID,
+		Scenario:   scenario,
+		Algorithm:  alg,
+		Seed:       seed,
+		Scale:      c.Scale,
+	}, obsv.Options{Interval: c.SampleInterval, Stream: f, Retain: true})
+	return &expObs{rec: rec, file: f, base: base}
+}
+
+// Conn registers the standard per-connection and per-subflow series.
+func (o *expObs) Conn(prefix string, conn *mptcp.Conn) {
+	if o == nil {
+		return
+	}
+	o.rec.WatchConn(prefix, conn)
+}
+
+// Meter registers a host energy meter's power and energy series.
+func (o *expObs) Meter(prefix string, m *energy.Meter) {
+	if o == nil {
+		return
+	}
+	o.rec.WatchMeter(prefix, m)
+}
+
+// Sample registers one extra named series.
+func (o *expObs) Sample(name string, fn func() float64) {
+	if o == nil {
+		return
+	}
+	o.rec.AddSampler(name, fn)
+}
+
+// Summary records a scalar outcome for the record's summary line.
+func (o *expObs) Summary(name string, v float64) {
+	if o == nil {
+		return
+	}
+	o.rec.SetSummary(name, v)
+}
+
+// Start freezes the series set and begins sampling.
+func (o *expObs) Start() {
+	if o == nil {
+		return
+	}
+	o.rec.Start()
+}
+
+// Close completes the JSONL record, writes the CSV twin and releases the
+// file.
+func (o *expObs) Close() {
+	if o == nil {
+		return
+	}
+	err := o.rec.Close()
+	if cerr := o.file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		panic(fmt.Errorf("exp: writing record %s.jsonl: %w", o.base, err))
+	}
+	cf, err := os.Create(o.base + ".csv")
+	if err != nil {
+		panic(fmt.Errorf("exp: creating record CSV: %w", err))
+	}
+	err = obsv.WriteCSV(cf, o.rec.Series(), o.rec.Rows())
+	if cerr := cf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		panic(fmt.Errorf("exp: writing record %s.csv: %w", o.base, err))
+	}
+}
+
+// slug normalizes a record filename component: lower case, with anything
+// outside [a-z0-9._-] collapsed to '-'.
+func slug(s string) string {
+	s = strings.ToLower(s)
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

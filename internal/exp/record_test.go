@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fig1Records runs Fig1 with run-record export into a fresh temp dir and
+// returns every produced file keyed by name.
+func fig1Records(t *testing.T, workers int) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	Fig1(Config{Seed: 1, Scale: 0.1, Workers: workers, OutDir: dir})
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = data
+	}
+	return out
+}
+
+// TestRecordsIdenticalAcrossWorkers pins the determinism contract: run
+// records depend only on (experiment, scenario, algorithm, seed), never on
+// how many runs execute concurrently around them.
+func TestRecordsIdenticalAcrossWorkers(t *testing.T) {
+	serial := fig1Records(t, 1)
+	parallel := fig1Records(t, 8)
+	if len(serial) == 0 {
+		t.Fatal("no records produced")
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("j=1 produced %d files, j=8 produced %d", len(serial), len(parallel))
+	}
+	for name, want := range serial {
+		got, ok := parallel[name]
+		if !ok {
+			t.Errorf("j=8 run missing %s", name)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between j=1 and j=8", name)
+		}
+	}
+}
+
+// TestFig1GoldenRecord byte-compares the fig1 TCP-baseline record against
+// the committed golden. A diff means either an intended schema/series change
+// (regenerate the golden and bump obsv.SchemaVersion if line shapes moved)
+// or an unintended change to the simulation trajectory or record encoding.
+//
+// Regenerate with:
+//
+//	go run ./cmd/mptcp-bench -exp fig1 -scale 0.1 -seed 1 -out internal/exp/testdata
+//	(keep only the fig1_reno_tcp-1nic-1sub_seed1.* pair)
+func TestFig1GoldenRecord(t *testing.T) {
+	files := fig1Records(t, 4)
+	for _, name := range []string{
+		"fig1_reno_tcp-1nic-1sub_seed1.jsonl",
+		"fig1_reno_tcp-1nic-1sub_seed1.csv",
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatalf("golden missing: %v", err)
+		}
+		got, ok := files[name]
+		if !ok {
+			t.Fatalf("fig1 did not produce %s (got %d files)", name, len(files))
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs from committed golden (see test comment to regenerate)", name)
+		}
+	}
+}

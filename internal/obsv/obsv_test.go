@@ -1,0 +1,233 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/trace"
+)
+
+// recordLines parses a JSONL record into generic maps, one per line.
+func recordLines(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d: %v (%q)", i, err, line)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// runSynthetic drives a recorder with synthetic samplers over a 1 s horizon
+// at a 100 ms interval and returns the streamed record plus the recorder.
+func runSynthetic(t *testing.T, opt Options) (*Recorder, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if opt.Stream == nil {
+		opt.Stream = &buf
+	}
+	eng := sim.NewEngine(7)
+	rec := NewRecorder(eng, Meta{
+		Experiment: "test", Scenario: "synthetic", Algorithm: "none", Seed: 7,
+	}, opt)
+
+	ticks := 0.0
+	rec.AddSampler("count", func() float64 { ticks++; return ticks })
+	rec.AddSampler("clock_s", func() float64 { return eng.Now().Seconds() })
+	rec.AddSampler("bad", func() float64 { return math.NaN() })
+
+	tl := &trace.Timeline{}
+	tl.Add(250*sim.Millisecond, "blip")
+	tl.Add(750*sim.Millisecond, "recover")
+	rec.AddTimeline("p0.", tl)
+
+	rec.SetSummary("total", 42)
+	rec.SetSummary("broken", math.Inf(1)) // sanitized to 0
+
+	rec.Start()
+	eng.Run(1 * sim.Second)
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return rec, buf.Bytes()
+}
+
+func TestRecorderRecordShape(t *testing.T) {
+	rec, data := runSynthetic(t, Options{Retain: true})
+	lines := recordLines(t, data)
+
+	// meta first, then 10 samples (100ms..1s inclusive), 2 events, summary.
+	if want := 1 + 10 + 2 + 1; len(lines) != want {
+		t.Fatalf("got %d lines, want %d", len(lines), want)
+	}
+
+	meta := lines[0]
+	if meta["type"] != "meta" {
+		t.Fatalf("first line type = %v, want meta", meta["type"])
+	}
+	if meta["schema"] != float64(SchemaVersion) {
+		t.Errorf("schema = %v, want %d", meta["schema"], SchemaVersion)
+	}
+	if meta["sample_interval_s"] != 0.1 {
+		t.Errorf("sample_interval_s = %v, want 0.1", meta["sample_interval_s"])
+	}
+	series, _ := meta["series"].([]any)
+	if len(series) != 3 || series[0] != "count" || series[1] != "clock_s" || series[2] != "bad" {
+		t.Errorf("series = %v, want [count clock_s bad] in registration order", series)
+	}
+
+	for i := 1; i <= 10; i++ {
+		s := lines[i]
+		if s["type"] != "sample" {
+			t.Fatalf("line %d type = %v, want sample", i, s["type"])
+		}
+		wantT := float64(i) * 0.1
+		if got := s["t_s"].(float64); math.Abs(got-wantT) > 1e-9 {
+			t.Errorf("sample %d t_s = %v, want %v", i, got, wantT)
+		}
+		v := s["v"].(map[string]any)
+		if v["count"] != float64(i) {
+			t.Errorf("sample %d count = %v, want %d", i, v["count"], i)
+		}
+		if v["bad"] != 0.0 {
+			t.Errorf("sample %d bad = %v, want 0 (NaN sanitized)", i, v["bad"])
+		}
+	}
+
+	if lines[11]["type"] != "event" || lines[11]["label"] != "p0.blip" || lines[11]["t_s"] != 0.25 {
+		t.Errorf("event 1 = %v, want p0.blip at 0.25", lines[11])
+	}
+	if lines[12]["type"] != "event" || lines[12]["label"] != "p0.recover" {
+		t.Errorf("event 2 = %v, want p0.recover", lines[12])
+	}
+
+	sum := lines[13]
+	if sum["type"] != "summary" {
+		t.Fatalf("last line type = %v, want summary", sum["type"])
+	}
+	v := sum["v"].(map[string]any)
+	if v["total"] != 42.0 || v["broken"] != 0.0 {
+		t.Errorf("summary v = %v, want total=42 broken=0", v)
+	}
+
+	// Retained rows mirror the streamed samples.
+	rows := rec.Rows()
+	if len(rows) != 10 {
+		t.Fatalf("retained %d rows, want 10", len(rows))
+	}
+	if rows[4].T != 500*sim.Millisecond || rows[4].V[0] != 5 {
+		t.Errorf("row 4 = %+v, want T=500ms count=5", rows[4])
+	}
+	if rows[0].V[2] != 0 {
+		t.Errorf("row 0 bad = %v, want 0 (sanitized before retention)", rows[0].V[2])
+	}
+}
+
+func TestRecorderDeterministic(t *testing.T) {
+	_, a := runSynthetic(t, Options{})
+	_, b := runSynthetic(t, Options{})
+	if !bytes.Equal(a, b) {
+		t.Error("two identical runs produced different records")
+	}
+}
+
+func TestRecorderNoRetain(t *testing.T) {
+	rec, _ := runSynthetic(t, Options{Retain: false})
+	if n := len(rec.Rows()); n != 0 {
+		t.Errorf("Retain=false kept %d rows, want 0", n)
+	}
+}
+
+func TestRecorderAddSamplerAfterStartPanics(t *testing.T) {
+	eng := sim.NewEngine(1)
+	rec := NewRecorder(eng, Meta{}, Options{})
+	rec.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddSampler after Start did not panic")
+		}
+	}()
+	rec.AddSampler("late", func() float64 { return 0 })
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Row{
+		{T: 100 * sim.Millisecond, V: []float64{1, 2.5}},
+		{T: 200 * sim.Millisecond, V: []float64{3, 0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"x", "y"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	want := "t_s,x,y\n0.1,1,2.5\n0.2,3,0\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+// TestWatchConn pins the standard series set WatchConn registers, including
+// the introspected algorithm internals, against a real two-path connection.
+func TestWatchConn(t *testing.T) {
+	var buf bytes.Buffer
+	eng := sim.NewEngine(3)
+	tp := topo.NewTwoPath(eng, topo.TwoPathConfig{})
+	conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "dts"}, 1, tp.Paths()...)
+
+	rec := NewRecorder(eng, Meta{Experiment: "test", Scenario: "twopath", Algorithm: "dts", Seed: 3},
+		Options{Stream: &buf})
+	rec.WatchConn("", conn)
+
+	wantSeries := []string{
+		"conn.goodput_mbps", "conn.acked_mb", "conn.reinjected_segs",
+		"sub0.cwnd", "sub0.srtt_ms", "sub0.inflight", "sub0.acked_segs",
+		"sub0.loss_events", "sub0.timeouts", "sub0.state",
+		"sub0.eps", "sub0.psi", "sub0.rtt_ratio",
+		"sub1.cwnd", "sub1.srtt_ms", "sub1.inflight", "sub1.acked_segs",
+		"sub1.loss_events", "sub1.timeouts", "sub1.state",
+		"sub1.eps", "sub1.psi", "sub1.rtt_ratio",
+	}
+	got := rec.Series()
+	if len(got) != len(wantSeries) {
+		t.Fatalf("series = %v, want %v", got, wantSeries)
+	}
+	for i := range got {
+		if got[i] != wantSeries[i] {
+			t.Fatalf("series[%d] = %q, want %q", i, got[i], wantSeries[i])
+		}
+	}
+
+	rec.Start()
+	conn.Start()
+	eng.Run(2 * sim.Second)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := recordLines(t, buf.Bytes())
+	var samples int
+	for _, l := range lines[1:] {
+		if l["type"] != "sample" {
+			continue
+		}
+		samples++
+		v := l["v"].(map[string]any)
+		if len(v) != len(wantSeries) {
+			t.Fatalf("sample has %d values, want %d", len(v), len(wantSeries))
+		}
+		if v["sub0.cwnd"].(float64) <= 0 {
+			t.Errorf("sub0.cwnd = %v, want > 0", v["sub0.cwnd"])
+		}
+	}
+	if samples != 20 {
+		t.Errorf("got %d samples over 2s at 100ms, want 20", samples)
+	}
+}

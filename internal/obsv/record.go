@@ -1,0 +1,153 @@
+// Package obsv is the structured observability layer: it turns one
+// simulation run into a machine-readable run record that downstream tooling
+// (plotting, regression diffing, trajectory analysis) can consume, instead
+// of the ASCII tables the experiment harness renders for humans.
+//
+// A Recorder attaches engine-driven samplers to a run — per-subflow cwnd,
+// SRTT, inflight and loss counters, the congestion-control algorithm's
+// introspected internals (ψ_r/ε_r for DTS), per-connection goodput and
+// re-injections, per-host watts from the energy meter — plus the failover
+// transitions each subflow records, and serializes the whole thing as JSONL
+// (one sample per line, streamed, bounded memory) and CSV.
+//
+// The record format is line-oriented JSON with a `type` discriminator:
+//
+//	{"type":"meta", ...}     exactly once, first line: run identity
+//	{"type":"sample", ...}   one per sampling tick: t_s plus a value map
+//	{"type":"event", ...}    labelled instants (failover transitions)
+//	{"type":"summary", ...}  exactly once, last line: scalar outcomes
+//
+// Records are deterministic: value maps serialize with sorted keys, sample
+// cadence is driven by the simulation clock, and nothing wall-clock-derived
+// is ever written, so the same seeded run produces byte-identical records
+// regardless of how many runs execute concurrently around it.
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"mptcpsim/internal/sim"
+)
+
+// SchemaVersion identifies the record layout. Bump it when line shapes or
+// field meanings change; the golden-record CI check pins the current value.
+const SchemaVersion = 1
+
+// Meta identifies one run. It is written as the record's first line.
+type Meta struct {
+	// Experiment is the figure or tool that produced the run (e.g. "fig9",
+	// "mptcp-sim").
+	Experiment string `json:"experiment"`
+	// Scenario names the topology/variant within the experiment
+	// (e.g. "twopath", "wired-600mbps").
+	Scenario string `json:"scenario"`
+	// Algorithm is the congestion-control algorithm under test.
+	Algorithm string `json:"algorithm"`
+	// Seed is the engine seed that reproduces the run.
+	Seed int64 `json:"seed"`
+	// Scale is the experiment scale knob (0 when not applicable).
+	Scale float64 `json:"scale,omitempty"`
+	// Config carries any further scenario knobs worth reproducing.
+	Config map[string]string `json:"config,omitempty"`
+}
+
+// metaLine is the serialized form of Meta plus schema bookkeeping.
+type metaLine struct {
+	Type    string `json:"type"`
+	Schema  int    `json:"schema"`
+	Meta
+	SampleIntervalS float64 `json:"sample_interval_s"`
+	Series          []string `json:"series"`
+}
+
+// sampleLine is one sampling tick: every registered series evaluated at t.
+type sampleLine struct {
+	Type string             `json:"type"`
+	T    float64            `json:"t_s"`
+	V    map[string]float64 `json:"v"`
+}
+
+// eventLine is one labelled instant (e.g. a subflow failover transition).
+type eventLine struct {
+	Type  string  `json:"type"`
+	T     float64 `json:"t_s"`
+	Label string  `json:"label"`
+}
+
+// summaryLine closes the record with scalar outcomes.
+type summaryLine struct {
+	Type string             `json:"type"`
+	V    map[string]float64 `json:"v"`
+}
+
+// sanitize maps NaN and ±Inf to 0: they cannot appear in JSON and a sampler
+// hitting a 0/0 transient must not abort the whole record.
+func sanitize(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// writeLine marshals v and appends it with a trailing newline.
+func writeLine(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("obsv: marshal record line: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Row is one retained sample: the instant plus the value of every series,
+// in series registration order.
+type Row struct {
+	T sim.Time
+	V []float64
+}
+
+// WriteCSV renders retained rows as CSV: a t_s column followed by one
+// column per series, one row per sampling tick. Values print in Go's
+// shortest-round-trip float format, so the output is deterministic.
+func WriteCSV(w io.Writer, series []string, rows []Row) error {
+	if _, err := io.WriteString(w, "t_s"); err != nil {
+		return err
+	}
+	for _, name := range series {
+		if _, err := io.WriteString(w, ","+name); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if _, err := fmt.Fprintf(w, "%v", row.T.Seconds()); err != nil {
+			return err
+		}
+		for _, v := range row.V {
+			if _, err := fmt.Fprintf(w, ",%v", v); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,261 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mptcpsim/internal/core"
+	"mptcpsim/internal/energy"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/trace"
+)
+
+// DefaultInterval is the sampling period when Options.Interval is zero:
+// 100 ms of simulated time, ten subflow samples per second — the cadence
+// the paper's time-series figures (Fig. 5, Fig. 8) plot at.
+const DefaultInterval = 100 * sim.Millisecond
+
+// Options configures a Recorder.
+type Options struct {
+	// Interval is the sampling period (0 takes DefaultInterval).
+	Interval sim.Time
+	// Stream, when set, receives the JSONL record as the run progresses:
+	// the meta line at Start, one sample line per tick, and the event and
+	// summary lines at Close. Streaming keeps memory bounded.
+	Stream io.Writer
+	// Retain keeps every sample row in memory (Rows) so the record can be
+	// exported as CSV or inspected programmatically after the run. Leave it
+	// false for long runs where the JSONL stream is the only consumer.
+	Retain bool
+}
+
+// Recorder samples registered observables on a fixed simulated-time cadence
+// and assembles the run record. Register samplers before Start; the first
+// sample is taken one interval after Start.
+type Recorder struct {
+	eng  *sim.Engine
+	meta Meta
+	opt  Options
+
+	names    []string
+	samplers []func() float64
+
+	timelines []watchedTimeline
+	summary   map[string]float64
+
+	rows    []Row
+	started bool
+	closed  bool
+	err     error
+	tickFn  func()
+}
+
+// watchedTimeline is a Timeline whose events are folded into the record at
+// Close, each label prefixed (e.g. "sub1.dead").
+type watchedTimeline struct {
+	prefix string
+	tl     *trace.Timeline
+}
+
+// NewRecorder creates a recorder for one run on eng.
+func NewRecorder(eng *sim.Engine, meta Meta, opt Options) *Recorder {
+	if opt.Interval <= 0 {
+		opt.Interval = DefaultInterval
+	}
+	r := &Recorder{eng: eng, meta: meta, opt: opt, summary: make(map[string]float64)}
+	r.tickFn = r.tick
+	return r
+}
+
+// Interval returns the sampling period.
+func (r *Recorder) Interval() sim.Time { return r.opt.Interval }
+
+// Err returns the first stream-write error, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Series returns the registered series names in registration order.
+func (r *Recorder) Series() []string { return r.names }
+
+// Rows returns the retained sample rows (empty unless Options.Retain).
+func (r *Recorder) Rows() []Row { return r.rows }
+
+// AddSampler registers a named series sampled every tick. It panics after
+// Start: the series set is part of the record header.
+func (r *Recorder) AddSampler(name string, fn func() float64) {
+	if r.started {
+		panic("obsv: AddSampler after Start")
+	}
+	r.names = append(r.names, name)
+	r.samplers = append(r.samplers, fn)
+}
+
+// AddTimeline registers a timeline whose events are written to the record
+// at Close, labels prefixed with prefix.
+func (r *Recorder) AddTimeline(prefix string, tl *trace.Timeline) {
+	r.timelines = append(r.timelines, watchedTimeline{prefix: prefix, tl: tl})
+}
+
+// SetSummary records one scalar outcome for the closing summary line.
+// Calling it again with the same name overwrites.
+func (r *Recorder) SetSummary(name string, v float64) {
+	r.summary[name] = sanitize(v)
+}
+
+// WatchConn registers the standard per-connection and per-subflow series
+// for conn, all names prefixed with prefix (use "" for a single-connection
+// run): goodput, re-injections, and for each subflow cwnd, SRTT, inflight
+// and the cumulative loss/RTO counters. When the connection's algorithm
+// implements core.Introspector its internal components (e.g. DTS's ε_r and
+// ψ_r) are sampled per subflow as well. Subflow failover transitions are
+// folded in as events automatically.
+func (r *Recorder) WatchConn(prefix string, conn *mptcp.Conn) {
+	var lastBytes uint64
+	interval := r.opt.Interval.Seconds()
+	r.AddSampler(prefix+"conn.goodput_mbps", func() float64 {
+		acked := conn.AckedBytes()
+		delta := acked - lastBytes
+		lastBytes = acked
+		return float64(delta) * 8 / interval / 1e6
+	})
+	r.AddSampler(prefix+"conn.acked_mb", func() float64 {
+		return float64(conn.AckedBytes()) / 1e6
+	})
+	r.AddSampler(prefix+"conn.reinjected_segs", func() float64 {
+		return float64(conn.ReinjectedSegs())
+	})
+
+	intr, _ := conn.Alg().(core.Introspector)
+	for i, s := range conn.Subflows() {
+		i, s := i, s
+		sub := fmt.Sprintf("%ssub%d.", prefix, i)
+		r.AddSampler(sub+"cwnd", func() float64 { return s.Cwnd() })
+		r.AddSampler(sub+"srtt_ms", func() float64 { return s.SRTT().Seconds() * 1e3 })
+		r.AddSampler(sub+"inflight", func() float64 { return float64(s.Inflight()) })
+		r.AddSampler(sub+"acked_segs", func() float64 { return float64(s.Acked()) })
+		r.AddSampler(sub+"loss_events", func() float64 { return float64(s.Stats().LossEvents) })
+		r.AddSampler(sub+"timeouts", func() float64 { return float64(s.Stats().Timeouts) })
+		r.AddSampler(sub+"state", func() float64 { return float64(s.State()) })
+		if intr != nil {
+			// The key set is fixed at registration so the record's series
+			// list (and the CSV header) is complete up front.
+			for _, key := range sortedKeys(intr.Introspect(conn.Views(), i)) {
+				key := key
+				r.AddSampler(sub+key, func() float64 {
+					return intr.Introspect(conn.Views(), i)[key]
+				})
+			}
+		}
+		r.AddTimeline(sub, s.Transitions())
+	}
+}
+
+// WatchMeter registers the host's power and energy series for an energy
+// meter, using the meter's Trace hook for instantaneous watts. The meter's
+// Trace must be unset and the meter not yet sampling when WatchMeter is
+// called (attach before the first meter tick).
+func (r *Recorder) WatchMeter(prefix string, m *energy.Meter) {
+	if m.Trace == nil {
+		m.Trace = &trace.Series{Name: prefix + ".watts"}
+	}
+	tr := m.Trace
+	r.AddSampler(prefix+".watts", tr.Last)
+	r.AddSampler(prefix+".joules", m.Joules)
+}
+
+// Start writes the meta line and begins sampling. The series set is frozen
+// from here on.
+func (r *Recorder) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	if r.opt.Stream != nil {
+		names := r.names
+		if names == nil {
+			names = []string{}
+		}
+		r.emit(metaLine{
+			Type:            "meta",
+			Schema:          SchemaVersion,
+			Meta:            r.meta,
+			SampleIntervalS: r.opt.Interval.Seconds(),
+			Series:          names,
+		})
+	}
+	r.eng.ScheduleAfter(r.opt.Interval, r.tickFn)
+}
+
+func (r *Recorder) tick() {
+	if r.closed {
+		return
+	}
+	now := r.eng.Now()
+	vals := make([]float64, len(r.samplers))
+	for i, fn := range r.samplers {
+		vals[i] = sanitize(fn())
+	}
+	if r.opt.Stream != nil {
+		v := make(map[string]float64, len(vals))
+		for i, name := range r.names {
+			v[name] = vals[i]
+		}
+		r.emit(sampleLine{Type: "sample", T: now.Seconds(), V: v})
+	}
+	if r.opt.Retain {
+		r.rows = append(r.rows, Row{T: now, V: vals})
+	}
+	r.eng.ScheduleAfter(r.opt.Interval, r.tickFn)
+}
+
+// Close stops sampling and completes the record: watched timeline events
+// (merged and time-ordered) followed by the summary line. It returns the
+// first stream-write error encountered over the record's lifetime.
+func (r *Recorder) Close() error {
+	if r.closed {
+		return r.err
+	}
+	r.closed = true
+	if r.opt.Stream != nil {
+		for _, ev := range r.collectEvents() {
+			r.emit(ev)
+		}
+		v := make(map[string]float64, len(r.summary))
+		for k, val := range r.summary {
+			v[k] = val
+		}
+		r.emit(summaryLine{Type: "summary", V: v})
+	}
+	return r.err
+}
+
+// Events returns the watched timelines' events merged into one time-ordered
+// list with prefixed labels (registration order breaks ties, keeping the
+// merge deterministic).
+func (r *Recorder) Events() []trace.Event {
+	var out []trace.Event
+	for _, wt := range r.timelines {
+		for _, ev := range wt.tl.Events {
+			out = append(out, trace.Event{T: ev.T, Label: wt.prefix + ev.Label})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+func (r *Recorder) collectEvents() []eventLine {
+	events := r.Events()
+	lines := make([]eventLine, len(events))
+	for i, ev := range events {
+		lines[i] = eventLine{Type: "event", T: ev.T.Seconds(), Label: ev.Label}
+	}
+	return lines
+}
+
+func (r *Recorder) emit(line any) {
+	if r.err != nil {
+		return
+	}
+	r.err = writeLine(r.opt.Stream, line)
+}

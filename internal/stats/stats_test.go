@@ -182,3 +182,83 @@ func TestMeanBoundedProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPercentileEdgeRanks(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"p0-is-min", []float64{5, 1, 9, 3}, 0, 1},
+		{"p100-is-max", []float64{5, 1, 9, 3}, 100, 9},
+		{"negative-p-clamps-to-min", []float64{5, 1, 9, 3}, -10, 1},
+		{"over-100-clamps-to-max", []float64{5, 1, 9, 3}, 250, 9},
+		{"single-element-any-p", []float64{42}, 37, 42},
+		{"single-element-p0", []float64{42}, 0, 42},
+		{"single-element-p100", []float64{42}, 100, 42},
+		{"empty", nil, 50, 0},
+		{"integer-rank-no-interp", []float64{10, 20, 30, 40, 50}, 50, 30},
+		{"interp-between-ranks", []float64{10, 20}, 50, 15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Percentile(tc.xs, tc.p); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tc.xs, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewBoxDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want Box
+	}{
+		// n < 4: quartiles interpolate over a tiny sample; no outliers
+		// possible because the fences always contain the data.
+		{"n1", []float64{7}, Box{Min: 7, Q1: 7, Median: 7, Q3: 7, Max: 7, N: 1}},
+		{"n2", []float64{2, 6}, Box{Min: 2, Q1: 3, Median: 4, Q3: 5, Max: 6, N: 2}},
+		{"n3", []float64{1, 2, 9}, Box{Min: 1, Q1: 1.5, Median: 2, Q3: 5.5, Max: 9, N: 3}},
+		// Lower whisker clamp: Q1 = 75, but the smallest inside-fence sample
+		// is 100 > Q1, so Min retreats to Q1 rather than sitting above the box.
+		{"lower-whisker-clamp", []float64{0, 100, 100, 100},
+			Box{Min: 75, Q1: 75, Median: 100, Q3: 100, Max: 100, Outliers: []float64{0}, N: 4}},
+		// Mirror image: Q3 = 25, largest inside sample 0 < Q3, Max clamps up.
+		{"upper-whisker-clamp", []float64{0, 0, 0, 100},
+			Box{Min: 0, Q1: 0, Median: 0, Q3: 25, Max: 25, Outliers: []float64{100}, N: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := NewBox(tc.xs)
+			approx := func(a, b float64) bool { return math.Abs(a-b) <= 1e-12 }
+			if !approx(got.Min, tc.want.Min) || !approx(got.Q1, tc.want.Q1) ||
+				!approx(got.Median, tc.want.Median) || !approx(got.Q3, tc.want.Q3) ||
+				!approx(got.Max, tc.want.Max) || got.N != tc.want.N {
+				t.Errorf("NewBox(%v) = %+v, want %+v", tc.xs, got, tc.want)
+			}
+			if len(got.Outliers) != len(tc.want.Outliers) {
+				t.Errorf("NewBox(%v) outliers = %v, want %v", tc.xs, got.Outliers, tc.want.Outliers)
+			}
+		})
+	}
+}
+
+func TestNewBoxAllOutliersFallback(t *testing.T) {
+	// All-+Inf samples leave the whisker scan empty-handed (Inf < Inf never
+	// holds, so Min stays the +Inf sentinel): the fallback resets the
+	// whiskers to the data extremes and clears the outlier list rather than
+	// reporting an empty box.
+	xs := []float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	b := NewBox(xs)
+	if !math.IsInf(b.Min, 1) || !math.IsInf(b.Max, 1) {
+		t.Errorf("fallback whiskers = [%v, %v], want the +Inf data extremes", b.Min, b.Max)
+	}
+	if len(b.Outliers) != 0 {
+		t.Errorf("fallback kept %d outliers, want none", len(b.Outliers))
+	}
+	if b.N != 3 {
+		t.Errorf("N = %d, want 3", b.N)
+	}
+}

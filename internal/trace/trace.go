@@ -109,7 +109,10 @@ func (m *RateMeter) Count(bytes int) {
 func (m *RateMeter) TotalBytes() uint64 { return m.totalBytes }
 
 // Sample closes the current window and returns the smoothed rate in bits per
-// second. Calling it twice at the same instant returns the previous estimate.
+// second. A zero-width window (a second call at the same instant) does not
+// close anything: the window stays open, bytes counted since the last real
+// sample keep accumulating into it, and the current smoothed EWMA estimate —
+// not the previous window's raw rate — is returned unchanged.
 func (m *RateMeter) Sample() float64 {
 	now := m.eng.Now()
 	dt := now - m.lastSample

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine experiments full clean
+.PHONY: all build vet test race bench bench-engine experiments full validate clean
 
 all: build vet test race
 
@@ -32,6 +32,11 @@ experiments:
 
 full:
 	$(GO) run ./cmd/mptcp-bench -full
+
+# Fluid-vs-packet conformance for every algorithm (EXPERIMENTS.md,
+# "Validation methodology"); CI diffs this against the committed golden.
+validate:
+	$(GO) run ./cmd/mptcp-bench -validate
 
 clean:
 	rm -f test_output.txt bench_output.txt experiments_output.md

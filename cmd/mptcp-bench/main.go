@@ -13,6 +13,13 @@
 // -out DIR exports one machine-readable run record (JSONL + CSV, see
 // internal/obsv and EXPERIMENTS.md) per simulation run; -sample-interval
 // sets the record's sampling period in simulated time.
+//
+// -check runs the internal/check invariant checker on every simulation run
+// (the first violation aborts with the failing run's identity). -validate
+// skips the experiments and instead runs the fluid-model conformance suite,
+// printing the table compared against internal/check/testdata/
+// conformance_golden.txt in CI; a non-OK row exits non-zero. See
+// EXPERIMENTS.md, "Validation methodology".
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"mptcpsim/internal/check"
 	"mptcpsim/internal/exp"
 	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
@@ -76,6 +84,8 @@ func run(args []string) error {
 		jsonOut    = fs.Bool("json", false, "write per-experiment timing and event counts to BENCH_<timestamp>.json")
 		outDir     = fs.String("out", "", "write one JSONL+CSV run record per (algorithm, scenario, seed) to this directory")
 		sampleInt  = fs.Duration("sample-interval", 0, "run-record sampling period in simulated time (0 = 100ms)")
+		checkInv   = fs.Bool("check", false, "run the invariant checker on every simulation run (first violation aborts)")
+		validate   = fs.Bool("validate", false, "run the fluid-vs-packet conformance suite instead of experiments")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,12 +96,23 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *validate {
+		c, err := check.RunConformance(check.ConformanceConfig{Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("conformance: %w", err)
+		}
+		fmt.Print(c.Format())
+		if !c.OK() {
+			return fmt.Errorf("conformance: packet-level behaviour disagrees with the fluid model (see rows above)")
+		}
+		return nil
+	}
 	if *full {
 		*scale = 1
 	}
 	cfg := exp.Config{
 		Seed: *seed, Scale: *scale, Reps: *reps, Workers: *workers,
-		OutDir: *outDir, SampleInterval: sim.Time(*sampleInt),
+		OutDir: *outDir, SampleInterval: sim.Time(*sampleInt), Check: *checkInv,
 	}
 
 	if *cpuprofile != "" {

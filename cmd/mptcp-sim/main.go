@@ -13,9 +13,16 @@
 // internals for introspectable algorithms, host power, and failover events.
 // With -runs > 1 each run writes its own file with the seed inserted before
 // the extension.
+//
+// -check runs the internal/check invariant checker alongside the
+// simulation: byte conservation, cwnd/seq bounds, energy accounting and
+// subflow state transitions are evaluated periodically and once at the end.
+// Violations fail the run; with -runs > 1 they fail the whole summary,
+// naming each offending seed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"mptcpsim/internal/check"
 	"mptcpsim/internal/core"
 	"mptcpsim/internal/energy"
 	"mptcpsim/internal/faults"
@@ -57,6 +65,7 @@ type scenario struct {
 	trace      string
 	sampleInt  time.Duration
 	multiTrace bool // -runs > 1: insert the seed into each trace filename
+	check      bool
 }
 
 // runResult summarises one completed run for the multi-run table.
@@ -90,6 +99,7 @@ func run(args []string) error {
 		workers   = fs.Int("j", runner.DefaultWorkers(), "concurrent runs when -runs > 1")
 		traceOut  = fs.String("trace", "", "stream a JSONL run record to this file (per-seed files when -runs > 1)")
 		sampleInt = fs.Duration("sample-interval", 0, "run-record sampling period in simulated time (0 = 100ms)")
+		checkInv  = fs.Bool("check", false, "evaluate simulator invariants during the run; violations fail the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +110,7 @@ func run(args []string) error {
 		duration: *duration, transfer: *transfer, cross: *cross,
 		rwnd: *rwnd, fault: *fault,
 		trace: *traceOut, sampleInt: *sampleInt, multiTrace: *runs > 1,
+		check: *checkInv,
 	}
 
 	if *runs <= 1 {
@@ -112,9 +123,15 @@ func run(args []string) error {
 	fmt.Printf("%-6s %12s %10s %12s %10s %10s %8s\n",
 		"seed", "goodput_mbps", "acked_mb", "energy_j", "mean_w", "events", "wall_s")
 	var sumGoodput, sumJoules float64
+	var failed []runResult
 	for _, r := range results {
 		if r.err != nil {
-			return r.err
+			// Report the failure in the row, keep printing the other seeds,
+			// and fail the whole invocation below. A bad seed must not be
+			// silently averaged away — nor hide the remaining results.
+			fmt.Printf("%-6d FAILED: %v\n", r.seed, r.err)
+			failed = append(failed, r)
+			continue
 		}
 		fmt.Printf("%-6d %12.2f %10.1f %12.1f %10.2f %10d %8.2f\n",
 			r.seed, r.goodputBps/1e6, float64(r.acked)/(1<<20),
@@ -122,10 +139,43 @@ func run(args []string) error {
 		sumGoodput += r.goodputBps
 		sumJoules += r.joules
 	}
-	n := float64(len(results))
-	fmt.Printf("mean over %d runs: goodput %.2f Mb/s, energy %.1f J\n",
-		len(results), sumGoodput/n/1e6, sumJoules/n)
+	if n := float64(len(results) - len(failed)); n > 0 {
+		fmt.Printf("mean over %d runs: goodput %.2f Mb/s, energy %.1f J\n",
+			len(results)-len(failed), sumGoodput/n/1e6, sumJoules/n)
+	}
+	if len(failed) > 0 {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d of %d runs failed:", len(failed), len(results))
+		for _, r := range failed {
+			fmt.Fprintf(&sb, "\n  seed %d: %v", r.seed, r.err)
+		}
+		return errors.New(sb.String())
+	}
 	return nil
+}
+
+// startCheck attaches the invariant checker to one run when -check is set.
+// It runs in collect mode rather than panicking, so a violating seed in a
+// multi-run batch reports cleanly alongside the surviving rows.
+func startCheck(eng *sim.Engine, sc scenario, conn *mptcp.Conn, meter *energy.Meter) *check.Invariants {
+	if !sc.check {
+		return nil
+	}
+	inv := check.New(eng)
+	inv.Watch("", conn)
+	inv.WatchMeter("host", meter)
+	inv.Start()
+	return inv
+}
+
+// finishCheck evaluates the invariants one final time and converts any
+// recorded violations into the run's error.
+func finishCheck(inv *check.Invariants) error {
+	if inv == nil {
+		return nil
+	}
+	inv.Final()
+	return inv.Err()
 }
 
 // setup wires the scenario onto a fresh engine and returns the connection
@@ -223,6 +273,7 @@ func runQuiet(sc scenario, seed int64) runResult {
 	if err != nil {
 		return runResult{seed: seed, err: err}
 	}
+	inv := startCheck(eng, sc, conn, meter)
 	if sc.transfer > 0 {
 		conn.OnComplete = func(sim.Time) {
 			meter.Stop()
@@ -233,6 +284,9 @@ func runQuiet(sc scenario, seed int64) runResult {
 	conn.Start()
 	eng.Run(sim.FromDuration(sc.duration))
 	meter.Flush() // integrate the residual when the horizon cut the run off
+	if err := finishCheck(inv); err != nil {
+		return runResult{seed: seed, err: err}
+	}
 	if finish != nil {
 		if err := finish(); err != nil {
 			return runResult{seed: seed, err: err}
@@ -262,6 +316,7 @@ func runOne(sc scenario, seed int64) error {
 	if err != nil {
 		return err
 	}
+	inv := startCheck(eng, sc, conn, meter)
 	if sc.transfer > 0 {
 		conn.OnComplete = func(at sim.Time) {
 			fmt.Printf("transfer completed at %.3fs\n", at.Seconds())
@@ -274,6 +329,12 @@ func runOne(sc scenario, seed int64) error {
 	conn.Start()
 	eng.Run(sim.FromDuration(sc.duration))
 	meter.Flush() // integrate the residual when the horizon cut the run off
+	if err := finishCheck(inv); err != nil {
+		return err
+	}
+	if inv != nil {
+		fmt.Printf("checks:  %d invariant evaluations, clean\n", inv.Checks())
+	}
 	if finish != nil {
 		if err := finish(); err != nil {
 			return err

@@ -1,0 +1,80 @@
+package mptcpsim_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageComments gates the documentation pass: every package in the
+// module must carry a real package comment ("Package <name> ..." for
+// libraries, "Command <name> ..." for binaries), so godoc renders a
+// description for each and a new package cannot land undocumented.
+func TestPackageComments(t *testing.T) {
+	var dirs []string
+	for _, root := range []string{".", "internal", "cmd", "examples"} {
+		entries, err := os.ReadDir(root)
+		if err != nil {
+			t.Fatalf("reading %s: %v", root, err)
+		}
+		if root == "." {
+			dirs = append(dirs, ".")
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				dirs = append(dirs, filepath.Join(root, e.Name()))
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	for _, dir := range dirs {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sources []string
+		for _, m := range matches {
+			if !strings.HasSuffix(m, "_test.go") {
+				sources = append(sources, m)
+			}
+		}
+		if len(sources) == 0 {
+			continue // no buildable package here (e.g. testdata-only dir)
+		}
+		var doc, pkgName string
+		for _, src := range sources {
+			f, err := parser.ParseFile(fset, src, nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", src, err)
+			}
+			pkgName = f.Name.Name
+			if f.Doc != nil {
+				doc = f.Doc.Text()
+				break
+			}
+		}
+		if doc == "" {
+			t.Errorf("%s: package %s has no package comment on any file", dir, pkgName)
+			continue
+		}
+		want := "Package " + pkgName + " "
+		if pkgName == "main" {
+			want = "Command "
+		}
+		if !strings.HasPrefix(doc, want) {
+			t.Errorf("%s: package comment starts %q, want %q", dir, firstLine(doc), want)
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

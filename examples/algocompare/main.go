@@ -1,4 +1,4 @@
-// Algocompare runs the Fig. 5a / Fig. 6 scenario at example scale: N MPTCP
+// Command algocompare runs the Fig. 5a / Fig. 6 scenario at example scale: N MPTCP
 // users and 2N TCP users share two bottlenecks; each MPTCP user moves
 // 16 MB and we compare the per-user energy distribution across the four
 // TCP-friendly coupled algorithms.

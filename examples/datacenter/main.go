@@ -1,4 +1,4 @@
-// Datacenter runs permutation traffic on a FatTree and shows how MPTCP's
+// Command datacenter runs permutation traffic on a FatTree and shows how MPTCP's
 // subflow count changes utilization and energy overhead (the Fig. 12-14
 // experiment at example scale).
 //

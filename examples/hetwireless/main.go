@@ -1,4 +1,4 @@
-// Hetwireless reproduces the paper's Fig. 17 scenario interactively: a
+// Command hetwireless reproduces the paper's Fig. 17 scenario interactively: a
 // handset with a WiFi and a 4G interface transfers data under bursty cross
 // traffic, comparing LIA against the paper's DTS for handset energy.
 //

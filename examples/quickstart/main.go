@@ -1,5 +1,5 @@
-// Quickstart: build a two-path network, run an MPTCP transfer under the
-// paper's DTS congestion control, and report throughput and sender energy.
+// Command quickstart builds a two-path network, runs an MPTCP transfer under the
+// paper's DTS congestion control, and reports throughput and sender energy.
 //
 //	go run ./examples/quickstart
 package main

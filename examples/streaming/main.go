@@ -1,4 +1,4 @@
-// Streaming exercises the paper's future-work scenario: a live media
+// Command streaming exercises the paper's future-work scenario: a live media
 // session over WiFi+4G MPTCP under bursty cross traffic, comparing
 // congestion-control algorithms on playback smoothness and handset
 // energy per media-second.

@@ -1,0 +1,80 @@
+package check
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the conformance golden table")
+
+// TestConformance runs the full differential harness — every algorithm's
+// packet run against its fluid equilibrium — and requires (a) every row
+// within its tolerance band and (b) the formatted table byte-identical to
+// the committed golden, which CI diffs.
+func TestConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance harness runs minutes of simulated time; skipped in -short")
+	}
+	c, err := RunConformance(ConformanceConfig{})
+	if err != nil {
+		t.Fatalf("RunConformance: %v", err)
+	}
+	got := c.Format()
+	t.Logf("conformance table:\n%s", got)
+	if !c.OK() {
+		t.Errorf("conformance rows outside tolerance:\n%s", got)
+	}
+
+	golden := filepath.Join("testdata", "conformance_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("conformance table drifted from golden.\ngot:\n%s\nwant:\n%s\nIf the change is intended, regenerate with: go test ./internal/check -run TestConformance -update", got, want)
+	}
+}
+
+// TestConformanceShiftMovesShare spot-checks the traffic-shifting property
+// directly: under cross traffic on path1, both the fluid and the packet
+// DTS shares on path0 must exceed the clean-scenario shares.
+func TestConformanceShiftMovesShare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the harness scenarios; skipped in -short")
+	}
+	c, err := RunConformance(ConformanceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clean, shifted *ConfRow
+	for i := range c.Rows {
+		switch c.Rows[i].Algorithm {
+		case "dts":
+			clean = &c.Rows[i]
+		case "dts-shift":
+			shifted = &c.Rows[i]
+		}
+	}
+	if clean == nil || shifted == nil {
+		t.Fatal("harness lost its dts rows")
+	}
+	if shifted.PacketShare[0] <= clean.PacketShare[0] {
+		t.Errorf("packet DTS did not shift toward the clean path: %.3f -> %.3f",
+			clean.PacketShare[0], shifted.PacketShare[0])
+	}
+	if shifted.FluidShare[0] <= clean.FluidShare[0] {
+		t.Errorf("fluid DTS did not shift toward the clean path: %.3f -> %.3f",
+			clean.FluidShare[0], shifted.FluidShare[0])
+	}
+}

@@ -1,0 +1,29 @@
+// Package check is the model-conformance and invariant-checking layer: the
+// machinery that continuously proves the packet-level simulator, the
+// congestion-control algorithms and the energy accounting agree with the
+// structural rules they claim to follow and with the paper's Eq. 3 fluid
+// model.
+//
+// It has two halves:
+//
+// Invariants hooks a running simulation (connections, links, energy meters,
+// the engine clock) and asserts structural invariants on a fixed simulated-
+// time cadence: end-to-end segment conservation (distinct segments charged =
+// delivered + in flight + re-injected), per-link packet conservation
+// (arrived = delivered + dropped + queued), cwnd/ssthresh bounds, a
+// non-decreasing clock, non-negative inflight and joules, the re-injection
+// credit balance of the failover design, and legal subflow state
+// transitions. Both CLIs expose it behind -check, and the experiment
+// harness turns it on for every test run via exp.Config.Check. Invariant
+// evaluation is split into snapshot extraction (thin, trusted) and pure
+// functions over snapshot structs, so each invariant is independently
+// testable against deliberately broken synthetic states.
+//
+// Conformance is the differential half: for every multipath algorithm it
+// solves the Eq. 3 fluid equilibrium with internal/fluid, runs the matching
+// packet-level scenario, and asserts the per-path throughput shares (and
+// DTS's traffic-shifting ratio) land within a documented tolerance band.
+// cmd/mptcp-bench -validate renders the comparison as a table whose golden
+// copy is committed and diffed in CI; see EXPERIMENTS.md ("Validation
+// methodology") for the bands and the regeneration procedure.
+package check

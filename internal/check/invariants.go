@@ -1,0 +1,478 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"mptcpsim/internal/energy"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+)
+
+// DefaultInterval is the invariant-evaluation cadence in simulated time.
+// Fifty milliseconds keeps the overhead far below the packet event rate
+// while still catching transient corruption within a few RTTs.
+const DefaultInterval = 50 * sim.Millisecond
+
+// Violation is one failed invariant: where in simulated time, which rule,
+// and the concrete numbers that broke it.
+type Violation struct {
+	T         sim.Time
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("t=%.3fs %s: %s", v.T.Seconds(), v.Invariant, v.Detail)
+}
+
+// The invariant names, as they appear in Violation.Invariant. Each has a
+// matching negative test in invariants_test.go that must trip it.
+const (
+	InvClock       = "clock"             // engine time never decreases
+	InvConnConserv = "conn.conservation" // ΣMaxSent = Sent+Reinjected; Acked ≤ Sent
+	InvCredit      = "conn.credit"       // re-injection credits balanced and bounded
+	InvSeq         = "subflow.seq"       // 0 ≤ CumAck ≤ NextSeq ≤ MaxSent; pipes non-negative
+	InvCwnd        = "subflow.cwnd"      // MinCwnd ≤ cwnd, ssthresh ≥ 2, all finite
+	InvState       = "subflow.state"     // legal failover transitions, ordered in time
+	InvEnergy      = "meter.energy"      // joules non-negative, non-decreasing, finite
+	InvLinkConserv = "link.conservation" // arrived = delivered + dropped + queued
+)
+
+// --- snapshot layer -------------------------------------------------------
+//
+// Invariants are evaluated against plain snapshot structs, never against
+// live objects, so each rule is a pure function that the negative tests can
+// feed deliberately broken states.
+
+// SubflowState is the checked view of one tcp.Subflow.
+type SubflowState struct {
+	ID              int
+	Cwnd, SSThresh  float64
+	MinCwnd         float64
+	CumAck          int64
+	NextSeq         int64
+	MaxSent         int64
+	Inflight        int64
+	Outstanding     int64
+	State           string   // "active", "dead" or "probing"
+	Transitions     []string // failover timeline labels, in order
+	TransitionTimes []sim.Time
+}
+
+// ConnState is the checked view of one mptcp.Conn.
+type ConnState struct {
+	Name       string
+	Sent       int64 // distinct segments currently charged (net of handbacks)
+	Acked      int64 // segments counted as delivered at the connection level
+	Reinjected int64 // lifetime total of segments handed back at failures
+	Credits    []int64
+	Subflows   []SubflowState
+}
+
+// LinkState is the checked view of one netem.Link's conservation counters.
+type LinkState struct {
+	Name          string
+	Arrived       uint64
+	Delivered     uint64
+	Dropped       uint64
+	RandDropped   uint64
+	OutageDropped uint64
+	Queued        int
+}
+
+// MeterState is the checked view of one energy.Meter: the current reading
+// plus the reading at the previous check, for monotonicity.
+type MeterState struct {
+	Name       string
+	Joules     float64
+	PrevJoules float64
+	MeanPower  float64
+}
+
+// SnapshotConn extracts the checked state of a connection.
+func SnapshotConn(name string, c *mptcp.Conn) ConnState {
+	st := ConnState{
+		Name:       name,
+		Sent:       c.SentSegs(),
+		Acked:      c.AckedSegs(),
+		Reinjected: c.ReinjectedSegs(),
+		Credits:    c.ReinjectCredits(),
+	}
+	for _, s := range c.Subflows() {
+		sub := SubflowState{
+			ID:          s.ID(),
+			Cwnd:        s.Cwnd(),
+			SSThresh:    s.SSThresh(),
+			MinCwnd:     s.Config().MinCwnd,
+			CumAck:      s.Acked(),
+			NextSeq:     s.NextSeq(),
+			MaxSent:     s.MaxSent(),
+			Inflight:    s.Inflight(),
+			Outstanding: s.Outstanding(),
+			State:       s.State().String(),
+		}
+		for _, ev := range s.Transitions().Events {
+			sub.Transitions = append(sub.Transitions, ev.Label)
+			sub.TransitionTimes = append(sub.TransitionTimes, ev.T)
+		}
+		st.Subflows = append(st.Subflows, sub)
+	}
+	return st
+}
+
+// SnapshotLink extracts the checked state of a link.
+func SnapshotLink(l *netem.Link) LinkState {
+	return LinkState{
+		Name:          l.Name(),
+		Arrived:       l.Arrived(),
+		Delivered:     l.Delivered(),
+		Dropped:       l.Dropped(),
+		RandDropped:   l.RandDropped(),
+		OutageDropped: l.OutageDropped(),
+		Queued:        l.QueueLen(),
+	}
+}
+
+// --- pure invariant checks ------------------------------------------------
+
+// CheckConn evaluates the connection-level and per-subflow invariants at
+// instant t.
+func CheckConn(t sim.Time, st ConnState) []Violation {
+	var out []Violation
+	add := func(inv, format string, args ...any) {
+		out = append(out, Violation{T: t, Invariant: inv,
+			Detail: fmt.Sprintf("conn %s: ", st.Name) + fmt.Sprintf(format, args...)})
+	}
+
+	// Segment conservation. Every distinct segment is charged exactly once
+	// per subflow that carries it (NoteSend), and failures move charges from
+	// Sent to Reinjected without creating or destroying any.
+	var sumMaxSent int64
+	for _, s := range st.Subflows {
+		sumMaxSent += s.MaxSent
+	}
+	if sumMaxSent != st.Sent+st.Reinjected {
+		add(InvConnConserv, "ΣMaxSent=%d but Sent+Reinjected=%d+%d=%d",
+			sumMaxSent, st.Sent, st.Reinjected, st.Sent+st.Reinjected)
+	}
+	if st.Sent < 0 || st.Acked < 0 || st.Reinjected < 0 {
+		add(InvConnConserv, "negative counter: sent=%d acked=%d reinjected=%d",
+			st.Sent, st.Acked, st.Reinjected)
+	}
+	if st.Acked > st.Sent {
+		add(InvConnConserv, "delivered more than charged: acked=%d > sent=%d",
+			st.Acked, st.Sent)
+	}
+
+	// Re-injection credit balance: every credit is non-negative, never
+	// exceeds the frozen unacked range of its subflow, and the total never
+	// exceeds what was handed back over the connection's lifetime.
+	var sumCredit int64
+	for r, credit := range st.Credits {
+		sumCredit += credit
+		if credit < 0 {
+			add(InvCredit, "subflow %d credit %d < 0", r, credit)
+			continue
+		}
+		if r < len(st.Subflows) {
+			if unacked := st.Subflows[r].MaxSent - st.Subflows[r].CumAck; credit > unacked {
+				add(InvCredit, "subflow %d credit %d exceeds unacked range %d", r, credit, unacked)
+			}
+		}
+	}
+	if sumCredit > st.Reinjected {
+		add(InvCredit, "Σcredit=%d exceeds lifetime reinjected=%d", sumCredit, st.Reinjected)
+	}
+
+	for _, s := range st.Subflows {
+		out = append(out, checkSubflow(t, st.Name, s)...)
+	}
+	return out
+}
+
+// validStates are the legal subflow failover states and their legal
+// successors in the transition timeline. A subflow starts active; "active"
+// in the timeline is a revival.
+var validSuccessor = map[string]map[string]bool{
+	"active":  {"dead": true},
+	"dead":    {"probing": true, "active": true},
+	"probing": {"active": true},
+}
+
+func checkSubflow(t sim.Time, conn string, s SubflowState) []Violation {
+	var out []Violation
+	add := func(inv, format string, args ...any) {
+		out = append(out, Violation{T: t, Invariant: inv,
+			Detail: fmt.Sprintf("conn %s subflow %d: ", conn, s.ID) + fmt.Sprintf(format, args...)})
+	}
+
+	// Sequence-space ordering and non-negative pipes.
+	if s.CumAck < 0 || s.CumAck > s.NextSeq || s.NextSeq > s.MaxSent {
+		add(InvSeq, "sequence order broken: 0 ≤ cumAck=%d ≤ nextSeq=%d ≤ maxSent=%d",
+			s.CumAck, s.NextSeq, s.MaxSent)
+	}
+	if s.Inflight < 0 {
+		add(InvSeq, "negative inflight %d", s.Inflight)
+	}
+	if s.Outstanding < 0 || s.Outstanding > s.Inflight {
+		add(InvSeq, "outstanding=%d outside [0, inflight=%d]", s.Outstanding, s.Inflight)
+	}
+
+	// Window bounds. The transport floors cwnd at MinCwnd and ssthresh at 2
+	// on every write; 1<<30 is the initial "infinite" ssthresh, so anything
+	// above it means arithmetic ran away.
+	const maxWindow = float64(1 << 30)
+	if math.IsNaN(s.Cwnd) || math.IsInf(s.Cwnd, 0) || s.Cwnd < s.MinCwnd || s.Cwnd > maxWindow {
+		add(InvCwnd, "cwnd=%g outside [minCwnd=%g, %g]", s.Cwnd, s.MinCwnd, maxWindow)
+	}
+	if math.IsNaN(s.SSThresh) || math.IsInf(s.SSThresh, 0) || s.SSThresh < 2 || s.SSThresh > maxWindow {
+		add(InvCwnd, "ssthresh=%g outside [2, %g]", s.SSThresh, maxWindow)
+	}
+
+	// Failover state machine: a known state, a timeline that moves forward
+	// in time through legal transitions, ending at the current state.
+	if _, ok := validSuccessor[s.State]; !ok {
+		add(InvState, "unknown state %q", s.State)
+		return out
+	}
+	prev := "active"
+	var prevT sim.Time
+	for i, label := range s.Transitions {
+		if !validSuccessor[prev][label] {
+			add(InvState, "illegal transition %s→%s at timeline index %d", prev, label, i)
+		}
+		if i < len(s.TransitionTimes) {
+			if tt := s.TransitionTimes[i]; tt < prevT {
+				add(InvState, "transition %s at %.3fs before previous at %.3fs",
+					label, tt.Seconds(), prevT.Seconds())
+			} else {
+				prevT = tt
+			}
+		}
+		prev = label
+	}
+	if prev != s.State {
+		add(InvState, "timeline ends at %q but state is %q", prev, s.State)
+	}
+	return out
+}
+
+// CheckLink evaluates per-link packet conservation at instant t: every
+// packet presented to the link is delivered, dropped (overflow, random loss
+// or outage) or still queued — nothing appears or vanishes.
+func CheckLink(t sim.Time, st LinkState) []Violation {
+	accounted := st.Delivered + st.Dropped + st.RandDropped + st.OutageDropped + uint64(st.Queued)
+	if st.Arrived != accounted {
+		return []Violation{{T: t, Invariant: InvLinkConserv, Detail: fmt.Sprintf(
+			"link %s: arrived=%d but delivered+dropped+rand+outage+queued=%d+%d+%d+%d+%d=%d",
+			st.Name, st.Arrived, st.Delivered, st.Dropped, st.RandDropped,
+			st.OutageDropped, st.Queued, accounted)}}
+	}
+	return nil
+}
+
+// CheckMeter evaluates the energy-accounting invariants at instant t:
+// joules are finite, non-negative and non-decreasing, and mean power is
+// finite and non-negative.
+func CheckMeter(t sim.Time, st MeterState) []Violation {
+	var out []Violation
+	add := func(format string, args ...any) {
+		out = append(out, Violation{T: t, Invariant: InvEnergy,
+			Detail: fmt.Sprintf("meter %s: ", st.Name) + fmt.Sprintf(format, args...)})
+	}
+	if math.IsNaN(st.Joules) || math.IsInf(st.Joules, 0) || st.Joules < 0 {
+		add("joules=%g not a finite non-negative value", st.Joules)
+	}
+	if st.Joules < st.PrevJoules {
+		add("joules decreased: %g after %g", st.Joules, st.PrevJoules)
+	}
+	if math.IsNaN(st.MeanPower) || math.IsInf(st.MeanPower, 0) || st.MeanPower < 0 {
+		add("mean power %g not a finite non-negative value", st.MeanPower)
+	}
+	return out
+}
+
+// --- runtime --------------------------------------------------------------
+
+// Invariants hooks a running simulation and evaluates every registered
+// invariant on a fixed simulated-time cadence (and once more via Final at
+// the end of the run). Register objects before Start; the checker is as
+// deterministic as the run it watches.
+type Invariants struct {
+	eng      *sim.Engine
+	interval sim.Time
+
+	// FailFast panics on the first violation with full detail, freezing the
+	// run at the instant the invariant broke. The experiment harness and
+	// tests use it; the CLIs collect violations and report them as errors.
+	FailFast bool
+
+	// MaxRecorded caps the stored violations (the count keeps rising).
+	MaxRecorded int
+
+	conns  []watchedConn
+	links  []*netem.Link
+	meters []*watchedMeter
+
+	lastNow    sim.Time
+	checks     uint64
+	violations []Violation
+	dropped    int // violations beyond MaxRecorded
+	started    bool
+	tickFn     func()
+}
+
+type watchedConn struct {
+	name string
+	conn *mptcp.Conn
+}
+
+type watchedMeter struct {
+	name       string
+	meter      *energy.Meter
+	prevJoules float64
+}
+
+// New creates a checker on eng with the default cadence.
+func New(eng *sim.Engine) *Invariants {
+	inv := &Invariants{eng: eng, interval: DefaultInterval, MaxRecorded: 32}
+	inv.tickFn = inv.tick
+	return inv
+}
+
+// SetInterval overrides the evaluation cadence; call before Start.
+func (inv *Invariants) SetInterval(d sim.Time) {
+	if d > 0 {
+		inv.interval = d
+	}
+}
+
+// Watch registers a connection (and through it every subflow, plus every
+// link of the subflows' paths for packet conservation). name tags
+// violations when a run has several connections; "" is fine for one.
+func (inv *Invariants) Watch(name string, c *mptcp.Conn) {
+	inv.conns = append(inv.conns, watchedConn{name: name, conn: c})
+	for _, s := range c.Subflows() {
+		inv.WatchPaths(s.Path())
+	}
+}
+
+// WatchLinks registers links for per-link packet conservation.
+func (inv *Invariants) WatchLinks(links ...*netem.Link) {
+	inv.links = append(inv.links, links...)
+}
+
+// WatchPaths registers every distinct link of the given paths.
+func (inv *Invariants) WatchPaths(paths ...*netem.Path) {
+	seen := make(map[*netem.Link]bool)
+	for _, l := range inv.links {
+		seen[l] = true
+	}
+	for _, p := range paths {
+		for _, dir := range [][]*netem.Link{p.Forward, p.Reverse} {
+			for _, l := range dir {
+				if !seen[l] {
+					seen[l] = true
+					inv.links = append(inv.links, l)
+				}
+			}
+		}
+	}
+}
+
+// WatchMeter registers an energy meter.
+func (inv *Invariants) WatchMeter(name string, m *energy.Meter) {
+	inv.meters = append(inv.meters, &watchedMeter{name: name, meter: m})
+}
+
+// Start begins periodic evaluation. Calling Start twice is a no-op.
+func (inv *Invariants) Start() {
+	if inv.started {
+		return
+	}
+	inv.started = true
+	inv.lastNow = inv.eng.Now()
+	inv.eng.ScheduleAfter(inv.interval, inv.tickFn)
+}
+
+func (inv *Invariants) tick() {
+	inv.Check()
+	inv.eng.ScheduleAfter(inv.interval, inv.tickFn)
+}
+
+// Check evaluates every invariant right now. The periodic tick calls it;
+// tests and the CLIs may call it at interesting instants as well.
+func (inv *Invariants) Check() {
+	now := inv.eng.Now()
+	inv.checks++
+	if now < inv.lastNow {
+		inv.report(Violation{T: now, Invariant: InvClock, Detail: fmt.Sprintf(
+			"engine clock went backwards: %.6fs after %.6fs", now.Seconds(), inv.lastNow.Seconds())})
+	}
+	inv.lastNow = now
+	for _, wc := range inv.conns {
+		inv.report(CheckConn(now, SnapshotConn(wc.name, wc.conn))...)
+	}
+	for _, l := range inv.links {
+		inv.report(CheckLink(now, SnapshotLink(l))...)
+	}
+	for _, wm := range inv.meters {
+		st := MeterState{
+			Name:       wm.name,
+			Joules:     wm.meter.Joules(),
+			PrevJoules: wm.prevJoules,
+			MeanPower:  wm.meter.MeanPower(),
+		}
+		inv.report(CheckMeter(now, st)...)
+		wm.prevJoules = st.Joules
+	}
+}
+
+// Final runs one last evaluation; call it after the engine returns so the
+// end-of-run state is covered even when the horizon fell between ticks.
+func (inv *Invariants) Final() { inv.Check() }
+
+func (inv *Invariants) report(vs ...Violation) {
+	if len(vs) == 0 {
+		return
+	}
+	if inv.FailFast {
+		panic("check: invariant violated: " + vs[0].String())
+	}
+	for _, v := range vs {
+		if len(inv.violations) < inv.MaxRecorded {
+			inv.violations = append(inv.violations, v)
+		} else {
+			inv.dropped++
+		}
+	}
+}
+
+// Checks reports how many evaluation passes have run.
+func (inv *Invariants) Checks() uint64 { return inv.checks }
+
+// Violations returns the recorded violations (up to MaxRecorded).
+func (inv *Invariants) Violations() []Violation { return inv.violations }
+
+// Err returns nil when every check passed, or an error summarizing the
+// violations.
+func (inv *Invariants) Err() error {
+	if len(inv.violations) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d invariant violation(s)", len(inv.violations)+inv.dropped)
+	const show = 8
+	for i, v := range inv.violations {
+		if i == show {
+			fmt.Fprintf(&sb, "; … %d more", len(inv.violations)+inv.dropped-show)
+			break
+		}
+		sb.WriteString("; ")
+		sb.WriteString(v.String())
+	}
+	return fmt.Errorf("check: %s", sb.String())
+}

@@ -44,6 +44,11 @@ type Config struct {
 	// SampleInterval is the record sampling period (0 takes
 	// obsv.DefaultInterval).
 	SampleInterval sim.Time
+	// Check runs the internal/check invariant checker on every run,
+	// panicking at the first violation (surfaced by the worker pool with
+	// the failing run's identity). The test suite and CI keep it on; it is
+	// exposed as -check on cmd/mptcp-bench.
+	Check bool
 }
 
 func (c Config) withDefaults() Config {

@@ -7,8 +7,9 @@ import (
 )
 
 // tiny is the configuration the test suite uses: small fan-outs, short
-// horizons, single repetitions.
-var tiny = Config{Seed: 1, Scale: 0.05, Reps: 1}
+// horizons, single repetitions — with the invariant checker on, so every
+// figure run in the suite is also a conformance run.
+var tiny = Config{Seed: 1, Scale: 0.05, Reps: 1, Check: true}
 
 // skipIfShort skips the heavyweight figure runners in -short mode. The
 // runners are single-threaded simulation loops with no goroutines, so the
@@ -227,7 +228,7 @@ func TestFig8TraceShape(t *testing.T) {
 
 func TestFig9DTSSavesEnergy(t *testing.T) {
 	skipIfShort(t)
-	res := Fig9(Config{Seed: 1, Scale: 0.3, Reps: 3})
+	res := Fig9(Config{Seed: 1, Scale: 0.3, Reps: 3, Check: true})
 	liaRow := findRow(t, res, "lia")
 	if s := cell(t, res, liaRow, "saving_vs_lia_pct"); s != 0 {
 		t.Errorf("LIA's saving vs itself = %v, want 0", s)
@@ -275,7 +276,7 @@ func TestFig12BCubeOverheadDecreases(t *testing.T) {
 	skipIfShort(t)
 	// BCube's multi-NIC gain needs a cube with 3 NICs per host; scale 0.3
 	// builds BCube(3,2) (27 hosts) rather than the minimal (3,1).
-	res := Fig12(Config{Seed: 1, Scale: 0.3, Reps: 1})
+	res := Fig12(Config{Seed: 1, Scale: 0.3, Reps: 1, Check: true})
 	one := cell(t, res, findRow(t, res, "1"), "j_per_gbit")
 	eight := cell(t, res, findRow(t, res, "8"), "j_per_gbit")
 	if eight >= one {
@@ -422,7 +423,7 @@ func TestFigFaultsTransfersComplete(t *testing.T) {
 
 func TestFig17DTSSavesOnHandset(t *testing.T) {
 	skipIfShort(t)
-	res := Fig17(Config{Seed: 1, Scale: 0.3, Reps: 2})
+	res := Fig17(Config{Seed: 1, Scale: 0.3, Reps: 2, Check: true})
 	dts := cell(t, res, findRow(t, res, "dts"), "energy_saving_vs_lia_pct")
 	dtsep := cell(t, res, findRow(t, res, "dtsep"), "energy_saving_vs_lia_pct")
 	if dts <= -5 && dtsep <= -5 {

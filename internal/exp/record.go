@@ -6,56 +6,78 @@ import (
 	"path/filepath"
 	"strings"
 
+	"mptcpsim/internal/check"
 	"mptcpsim/internal/energy"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/obsv"
 	"mptcpsim/internal/sim"
 )
 
-// expObs wraps an obsv.Recorder streaming to one JSONL file under
-// Config.OutDir, plus the retained rows the matching CSV is written from at
-// Close. A nil *expObs is valid and inert, so run closures register
-// observables unconditionally and recording only happens when OutDir is set.
+// expObs is the per-run observation hook: an obsv.Recorder streaming to one
+// JSONL file under Config.OutDir (plus the retained rows its CSV twin is
+// written from at Close), and/or an invariant checker when Config.Check is
+// set. A nil *expObs is valid and inert, so run closures register
+// observables unconditionally and observation only happens when requested.
 type expObs struct {
 	rec  *obsv.Recorder
 	file *os.File
 	base string // path without extension
+
+	inv *check.Invariants
 }
 
-// observe opens the run record for one (experiment, scenario, algorithm,
-// seed) run, or returns nil when the config does not export records. The
-// returned observer is not yet sampling: register observables (Conn, Meter,
-// Sample), then call Start before running the engine and Close after.
-// Failures panic — record export is explicitly requested, and a partial
-// record set silently missing runs would be worse than stopping.
+// observe opens the observation hook for one (experiment, scenario,
+// algorithm, seed) run, or returns nil when the config neither exports
+// records nor checks invariants. The returned observer is not yet sampling:
+// register observables (Conn, Meter, Sample), then call Start before running
+// the engine and Close after. Failures panic — record export is explicitly
+// requested, and a partial record set silently missing runs would be worse
+// than stopping; invariant violations likewise panic (FailFast) so the
+// worker pool surfaces them with the failing run's identity.
 func (c Config) observe(eng *sim.Engine, expID, scenario, alg string, seed int64) *expObs {
-	if c.OutDir == "" {
+	if c.OutDir == "" && !c.Check {
 		return nil
+	}
+	o := &expObs{}
+	if c.Check {
+		o.inv = check.New(eng)
+		o.inv.FailFast = true
+	}
+	if c.OutDir == "" {
+		return o
 	}
 	if err := os.MkdirAll(c.OutDir, 0o755); err != nil {
 		panic(fmt.Errorf("exp: creating record dir: %w", err))
 	}
-	base := filepath.Join(c.OutDir, fmt.Sprintf("%s_%s_%s_seed%d", slug(expID), slug(alg), slug(scenario), seed))
-	f, err := os.Create(base + ".jsonl")
+	o.base = filepath.Join(c.OutDir, fmt.Sprintf("%s_%s_%s_seed%d", slug(expID), slug(alg), slug(scenario), seed))
+	f, err := os.Create(o.base + ".jsonl")
 	if err != nil {
 		panic(fmt.Errorf("exp: creating record: %w", err))
 	}
-	rec := obsv.NewRecorder(eng, obsv.Meta{
+	o.file = f
+	o.rec = obsv.NewRecorder(eng, obsv.Meta{
 		Experiment: expID,
 		Scenario:   scenario,
 		Algorithm:  alg,
 		Seed:       seed,
 		Scale:      c.Scale,
 	}, obsv.Options{Interval: c.SampleInterval, Stream: f, Retain: true})
-	return &expObs{rec: rec, file: f, base: base}
+	return o
 }
 
-// Conn registers the standard per-connection and per-subflow series.
+// Conn registers the standard per-connection and per-subflow series, and —
+// when invariant checking is on — the connection, its subflows and their
+// paths' links with the checker.
 func (o *expObs) Conn(prefix string, conn *mptcp.Conn) {
 	if o == nil {
 		return
 	}
-	o.rec.WatchConn(prefix, conn)
+	if o.rec != nil {
+		o.rec.WatchConn(prefix, conn)
+	}
+	if o.inv != nil {
+		o.inv.Watch(prefix, conn)
+	}
 }
 
 // Meter registers a host energy meter's power and energy series.
@@ -63,12 +85,17 @@ func (o *expObs) Meter(prefix string, m *energy.Meter) {
 	if o == nil {
 		return
 	}
-	o.rec.WatchMeter(prefix, m)
+	if o.rec != nil {
+		o.rec.WatchMeter(prefix, m)
+	}
+	if o.inv != nil {
+		o.inv.WatchMeter(prefix, m)
+	}
 }
 
 // Sample registers one extra named series.
 func (o *expObs) Sample(name string, fn func() float64) {
-	if o == nil {
+	if o == nil || o.rec == nil {
 		return
 	}
 	o.rec.AddSampler(name, fn)
@@ -76,24 +103,35 @@ func (o *expObs) Sample(name string, fn func() float64) {
 
 // Summary records a scalar outcome for the record's summary line.
 func (o *expObs) Summary(name string, v float64) {
-	if o == nil {
+	if o == nil || o.rec == nil {
 		return
 	}
 	o.rec.SetSummary(name, v)
 }
 
-// Start freezes the series set and begins sampling.
+// Start freezes the series set and begins sampling and checking.
 func (o *expObs) Start() {
 	if o == nil {
 		return
 	}
-	o.rec.Start()
+	if o.rec != nil {
+		o.rec.Start()
+	}
+	if o.inv != nil {
+		o.inv.Start()
+	}
 }
 
-// Close completes the JSONL record, writes the CSV twin and releases the
-// file.
+// Close evaluates the invariants one final time, completes the JSONL
+// record, writes the CSV twin and releases the file.
 func (o *expObs) Close() {
 	if o == nil {
+		return
+	}
+	if o.inv != nil {
+		o.inv.Final()
+	}
+	if o.rec == nil {
 		return
 	}
 	err := o.rec.Close()

@@ -12,7 +12,7 @@ import (
 func fig1Records(t *testing.T, workers int) map[string][]byte {
 	t.Helper()
 	dir := t.TempDir()
-	Fig1(Config{Seed: 1, Scale: 0.1, Workers: workers, OutDir: dir})
+	Fig1(Config{Seed: 1, Scale: 0.1, Workers: workers, OutDir: dir, Check: true})
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,54 @@
+package faults
+
+import "testing"
+
+// FuzzParse feeds arbitrary fault specs to the command-line parser. Parse
+// must never panic, and anything it accepts must be usable: at least one
+// clause, every clause with a non-empty target and at least one fault.
+func FuzzParse(f *testing.F) {
+	for _, spec := range []string{
+		"path1:down@2s,up@5s",
+		"wifi:rate@5s=2Mbps,delay@5s=150ms;lte:flap@1s+6s/500ms",
+		"path0:loss@3s=0.05",
+		"0:down@1s",
+		"p:up@0s;p:down@1s,down@2s",
+		"path0:flap@2s+4s/1s",
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		pfs, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if len(pfs) == 0 {
+			t.Fatalf("Parse(%q) accepted an empty schedule", spec)
+		}
+		for _, pf := range pfs {
+			if pf.Target == "" {
+				t.Fatalf("Parse(%q) accepted a clause with an empty target", spec)
+			}
+			if len(pf.Faults) == 0 {
+				t.Fatalf("Parse(%q) accepted clause %q with no faults", spec, pf.Target)
+			}
+		}
+	})
+}
+
+// FuzzParseRate checks the bandwidth parser: no panics, and every accepted
+// rate is strictly positive (a zero or negative line rate would wedge the
+// link's transmission-time arithmetic).
+func FuzzParseRate(f *testing.F) {
+	for _, s := range []string{"2Mbps", "250kbps", "1.5Gbps", "9600", "10bps", "-1Mbps"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRate(s)
+		if err != nil {
+			return
+		}
+		if r <= 0 {
+			t.Fatalf("ParseRate(%q) accepted non-positive rate %d", s, r)
+		}
+	})
+}

@@ -42,10 +42,11 @@ func Parse(spec string) ([]PathFaults, error) {
 			continue
 		}
 		target, rest, ok := strings.Cut(clause, ":")
-		if !ok || target == "" || rest == "" {
+		target = strings.TrimSpace(target)
+		if !ok || target == "" || strings.TrimSpace(rest) == "" {
 			return nil, fmt.Errorf("faults: clause %q is not target:directives", clause)
 		}
-		pf := PathFaults{Target: strings.TrimSpace(target)}
+		pf := PathFaults{Target: target}
 		var openDown sim.Time
 		haveDown := false
 		flushDown := func() {
@@ -189,7 +190,13 @@ func ParseRate(s string) (int64, error) {
 	if err != nil || v <= 0 {
 		return 0, fmt.Errorf("bad rate %q", s)
 	}
-	return int64(v * float64(mult)), nil
+	// Fractional rates below one bit per second truncate to zero, which
+	// would divide-by-zero the link's serialization time.
+	r := int64(v * float64(mult))
+	if r < 1 {
+		return 0, fmt.Errorf("rate %q is below 1 bps", s)
+	}
+	return r, nil
 }
 
 // Resolve matches a parsed clause target against a path list: by exact path

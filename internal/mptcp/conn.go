@@ -258,6 +258,29 @@ func (c *Conn) SubflowFailed(r int) bool { return c.failed[r] }
 // subflows for re-injection on survivors over the connection's lifetime.
 func (c *Conn) ReinjectedSegs() int64 { return c.reinjectedSegs }
 
+// SentSegs reports the distinct application segments currently charged to
+// the connection: incremented once per new segment (never for
+// retransmissions) and decremented when a failing subflow hands its unacked
+// range back for re-injection. The conservation identity
+// Σ_r MaxSent_r = SentSegs + ReinjectedSegs holds at every instant;
+// internal/check asserts it.
+func (c *Conn) SentSegs() int64 { return c.sentSegs }
+
+// AckedSegs reports the segments counted as delivered at the connection
+// level (acks consumed by re-injection credit excluded, so a segment
+// delivered both by a revived subflow and by its re-injected copy counts
+// once).
+func (c *Conn) AckedSegs() int64 { return c.ackedSegs }
+
+// ReinjectCredits returns a copy of the per-subflow re-injection credits:
+// the number of future acks on each subflow that will be discounted because
+// the segments they cover were handed back at failure time.
+func (c *Conn) ReinjectCredits() []int64 {
+	out := make([]int64, len(c.reinjectCredit))
+	copy(out, c.reinjectCredit)
+	return out
+}
+
 func (c *Conn) inflight() int64 {
 	var sum int64
 	for _, s := range c.subs {

@@ -64,6 +64,7 @@ type Link struct {
 	txDoneFn func() // cached method value for the hot path
 
 	// Counters, exported via methods.
+	arrived     uint64
 	delivered   uint64
 	dropped     uint64
 	randDropped uint64
@@ -101,6 +102,12 @@ func (l *Link) QueueLen() int { return len(l.queue) }
 
 // QueueLimit reports the DropTail capacity in packets.
 func (l *Link) QueueLimit() int { return l.cfg.QueueLimit }
+
+// Arrived reports packets presented to the link via Enqueue, whatever their
+// fate. At any instant Arrived = Delivered + Dropped + RandDropped +
+// OutageDropped + QueueLen — the conservation identity internal/check
+// asserts.
+func (l *Link) Arrived() uint64 { return l.arrived }
 
 // Delivered reports packets fully forwarded to their next hop.
 func (l *Link) Delivered() uint64 { return l.delivered }
@@ -231,6 +238,7 @@ func (l *Link) Price() float64 {
 // the random-loss model fires. Admitted packets may be ECN-marked and
 // accumulate the link's energy price.
 func (l *Link) Enqueue(p *Packet) {
+	l.arrived++
 	if l.down {
 		l.outageDrops++
 		p.Release()

@@ -1,0 +1,86 @@
+package obsv
+
+import (
+	"bytes"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseRecord feeds arbitrary bytes to the record parser. It must
+// accept or reject them without panicking, and never hand back a nil
+// record without an error.
+func FuzzParseRecord(f *testing.F) {
+	f.Add([]byte(`{"type":"meta","schema":1,"experiment":"fig9","scenario":"twopath","algorithm":"dts","seed":1,"sample_interval_s":0.1,"series":["conn.cwnd"]}
+{"type":"sample","t_s":0.1,"v":{"conn.cwnd":10}}
+{"type":"event","t_s":0.2,"label":"subflow 1: active->dead"}
+{"type":"summary","v":{"goodput_mbps":93.5}}
+`))
+	f.Add([]byte(`{"type":"sample","t_s":0.1,"v":{}}`))
+	f.Add([]byte("{\"type\":\"meta\",\"schema\":1,\"experiment\":\"\",\"scenario\":\"\",\"algorithm\":\"\",\"seed\":0,\"sample_interval_s\":0,\"series\":null}\n"))
+	f.Add([]byte("not json\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := ParseRecord(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if rec == nil {
+			t.Fatal("ParseRecord returned nil record without error")
+		}
+	})
+}
+
+// FuzzRecordRoundTrip writes a synthetic record through the same line
+// structs the Recorder serializes with, then requires ParseRecord to return
+// exactly what was written.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add("fig9", "twopath", "conn.cwnd", int64(7), 0.5, 3.25, 12.0, "subflow 1: active->dead")
+	f.Add("", "", "", int64(-1), -0.0, 1e300, -1e-300, "")
+	f.Fuzz(func(t *testing.T, expID, scenario, series string, seed int64, t0, v0, summary float64, label string) {
+		for _, s := range []string{expID, scenario, series, label} {
+			if !utf8.ValidString(s) {
+				t.Skip("json coerces invalid utf-8; not a round-trippable input")
+			}
+		}
+		// NaN and ±Inf cannot appear in JSON; the writer sanitizes values
+		// the same way before emitting them.
+		t0, v0, summary = sanitize(t0), sanitize(v0), sanitize(summary)
+
+		var buf bytes.Buffer
+		lines := []any{
+			metaLine{
+				Type: "meta", Schema: SchemaVersion,
+				Meta:   Meta{Experiment: expID, Scenario: scenario, Algorithm: "lia", Seed: seed},
+				Series: []string{series},
+			},
+			sampleLine{Type: "sample", T: t0, V: map[string]float64{series: v0}},
+			eventLine{Type: "event", T: t0, Label: label},
+			summaryLine{Type: "summary", V: map[string]float64{"goodput_mbps": summary}},
+		}
+		for _, l := range lines {
+			if err := writeLine(&buf, l); err != nil {
+				t.Fatalf("writeLine: %v", err)
+			}
+		}
+
+		rec, err := ParseRecord(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ParseRecord rejected a writer-produced record: %v\n%s", err, buf.Bytes())
+		}
+		if rec.Schema != SchemaVersion || rec.Meta.Experiment != expID ||
+			rec.Meta.Scenario != scenario || rec.Meta.Seed != seed {
+			t.Fatalf("meta mismatch: %+v", rec)
+		}
+		if len(rec.Series) != 1 || rec.Series[0] != series {
+			t.Fatalf("series mismatch: %q", rec.Series)
+		}
+		if len(rec.Samples) != 1 || rec.Samples[0].T != t0 || rec.Samples[0].V[series] != v0 {
+			t.Fatalf("sample mismatch: %+v (want t=%v %q=%v)", rec.Samples, t0, series, v0)
+		}
+		if len(rec.Events) != 1 || rec.Events[0].Label != label {
+			t.Fatalf("event mismatch: %+v", rec.Events)
+		}
+		if rec.Summary["goodput_mbps"] != summary {
+			t.Fatalf("summary mismatch: %v", rec.Summary)
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package obsv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Record is one parsed run record: the reader-side counterpart of the JSONL
+// format the Recorder streams. Tooling that post-processes run records
+// (plotting, regression diffing) parses them with ParseRecord instead of
+// re-implementing the line grammar.
+type Record struct {
+	Schema          int
+	Meta            Meta
+	SampleIntervalS float64
+	Series          []string
+	Samples         []Sample
+	Events          []Event
+	Summary         map[string]float64
+}
+
+// Sample is one parsed sampling tick.
+type Sample struct {
+	T float64
+	V map[string]float64
+}
+
+// Event is one parsed labelled instant.
+type Event struct {
+	T     float64
+	Label string
+}
+
+// ParseRecord reads a JSONL run record and validates its line grammar: a
+// meta line first, then any mix of sample and event lines, and at most one
+// summary line which must be last. Unknown line types and malformed JSON
+// are errors, so a truncated or corrupted record never parses silently.
+func ParseRecord(r io.Reader) (*Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	rec := &Record{}
+	sawMeta, sawSummary := false, false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var disc struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &disc); err != nil {
+			return nil, fmt.Errorf("obsv: record line %d: %w", lineNo, err)
+		}
+		if sawSummary {
+			return nil, fmt.Errorf("obsv: record line %d: %q line after summary", lineNo, disc.Type)
+		}
+		if !sawMeta && disc.Type != "meta" {
+			return nil, fmt.Errorf("obsv: record line %d: first line is %q, want meta", lineNo, disc.Type)
+		}
+		switch disc.Type {
+		case "meta":
+			if sawMeta {
+				return nil, fmt.Errorf("obsv: record line %d: duplicate meta line", lineNo)
+			}
+			var m metaLine
+			if err := json.Unmarshal(line, &m); err != nil {
+				return nil, fmt.Errorf("obsv: record line %d: meta: %w", lineNo, err)
+			}
+			rec.Schema = m.Schema
+			rec.Meta = m.Meta
+			rec.SampleIntervalS = m.SampleIntervalS
+			rec.Series = m.Series
+			sawMeta = true
+		case "sample":
+			var s sampleLine
+			if err := json.Unmarshal(line, &s); err != nil {
+				return nil, fmt.Errorf("obsv: record line %d: sample: %w", lineNo, err)
+			}
+			rec.Samples = append(rec.Samples, Sample{T: s.T, V: s.V})
+		case "event":
+			var e eventLine
+			if err := json.Unmarshal(line, &e); err != nil {
+				return nil, fmt.Errorf("obsv: record line %d: event: %w", lineNo, err)
+			}
+			rec.Events = append(rec.Events, Event{T: e.T, Label: e.Label})
+		case "summary":
+			var s summaryLine
+			if err := json.Unmarshal(line, &s); err != nil {
+				return nil, fmt.Errorf("obsv: record line %d: summary: %w", lineNo, err)
+			}
+			rec.Summary = s.V
+			sawSummary = true
+		default:
+			return nil, fmt.Errorf("obsv: record line %d: unknown type %q", lineNo, disc.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obsv: reading record: %w", err)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("obsv: record has no meta line")
+	}
+	return rec, nil
+}

@@ -172,8 +172,14 @@ func (s *Subflow) Path() *netem.Path { return s.path }
 // Stats returns a copy of the subflow's counters.
 func (s *Subflow) Stats() Stats { return s.stats }
 
+// Config returns the subflow's transport parameters with defaults applied.
+func (s *Subflow) Config() Config { return s.cfg }
+
 // Cwnd returns the current congestion window in segments.
 func (s *Subflow) Cwnd() float64 { return s.cwnd }
+
+// SSThresh returns the current slow-start threshold in segments.
+func (s *Subflow) SSThresh() float64 { return s.ssthresh }
 
 // SRTT returns the smoothed RTT estimate (0 before the first sample).
 func (s *Subflow) SRTT() sim.Time { return s.srtt }
@@ -198,6 +204,16 @@ func (s *Subflow) Outstanding() int64 {
 
 // Acked returns the cumulative acknowledged segment count.
 func (s *Subflow) Acked() int64 { return s.cumAck }
+
+// NextSeq returns the next sequence number the subflow will transmit.
+// NextSeq below MaxSent means rolled-back data is being resent.
+func (s *Subflow) NextSeq() int64 { return s.nextSeq }
+
+// MaxSent returns the highest sequence number ever handed to the path —
+// the count of distinct segments this subflow has been charged for via
+// Coordinator.NoteSend (rewinds after an RTO or path failure lower NextSeq
+// but never MaxSent).
+func (s *Subflow) MaxSent() int64 { return s.maxSent }
 
 // InRecovery reports whether a loss episode is in progress.
 func (s *Subflow) InRecovery() bool { return s.inRecovery }
@@ -597,8 +613,10 @@ func (s *Subflow) grow(acked int, views []core.View, alg core.Algorithm) {
 	if s.cwnd < s.ssthresh {
 		if !s.cfg.DisableHystart && s.delaySignal() {
 			// HyStart-style exit: the RTT samples show queue build-up, so
-			// stop doubling before overshooting into heavy loss.
-			s.ssthresh = s.cwnd
+			// stop doubling before overshooting into heavy loss. Clamped
+			// like every other ssthresh assignment: right after a timeout
+			// cwnd sits at MinCwnd, which can be below 2.
+			s.ssthresh = max2(s.cwnd, 2)
 		} else {
 			// Slow start: one segment per acked segment, not beyond ssthresh.
 			s.cwnd += float64(acked)

@@ -106,12 +106,22 @@ type TwoPathConfig struct {
 	Rate       int64    // per-path capacity (default 100 Mb/s)
 	Delay      sim.Time // one-way path delay (default 10 ms)
 	QueueLimit int      // per-path queue (default 100)
+
+	// Rates, when non-zero, overrides Rate per path (index 0 and 1) so the
+	// two paths can have asymmetric capacity. The conformance harness uses
+	// this to make the fluid equilibrium's per-path shares distinguishable.
+	Rates [2]int64
 }
 
 // NewTwoPath builds the scenario.
 func NewTwoPath(eng *sim.Engine, cfg TwoPathConfig) *TwoPath {
 	if cfg.Rate == 0 {
 		cfg.Rate = 100 * netem.Mbps
+	}
+	for i := range cfg.Rates {
+		if cfg.Rates[i] == 0 {
+			cfg.Rates[i] = cfg.Rate
+		}
 	}
 	if cfg.Delay == 0 {
 		cfg.Delay = 10 * sim.Millisecond
@@ -121,11 +131,12 @@ func NewTwoPath(eng *sim.Engine, cfg TwoPathConfig) *TwoPath {
 	}
 	g := newGraph(eng)
 	// Nodes: sender 0, receiver 1, relay switches 10 and 11 (one per path).
-	lc := netem.LinkConfig{Name: "tp", Rate: cfg.Rate, Delay: cfg.Delay / 2, QueueLimit: cfg.QueueLimit}
-	g.biLink(0, 10, lc)
-	g.biLink(10, 1, lc)
-	g.biLink(0, 11, lc)
-	g.biLink(11, 1, lc)
+	lc0 := netem.LinkConfig{Name: "tp", Rate: cfg.Rates[0], Delay: cfg.Delay / 2, QueueLimit: cfg.QueueLimit}
+	lc1 := netem.LinkConfig{Name: "tp", Rate: cfg.Rates[1], Delay: cfg.Delay / 2, QueueLimit: cfg.QueueLimit}
+	g.biLink(0, 10, lc0)
+	g.biLink(10, 1, lc0)
+	g.biLink(0, 11, lc1)
+	g.biLink(11, 1, lc1)
 	return &TwoPath{
 		g: g,
 		paths: []*netem.Path{

@@ -75,6 +75,12 @@ func NewVL2(eng *sim.Engine, cfg VL2Config) (*VL2, error) {
 	if cfg.Aggs < 2 {
 		return nil, fmt.Errorf("topo: VL2 needs at least 2 aggregation switches, got %d", cfg.Aggs)
 	}
+	// Paths indexes ToRs, hosts and intermediate switches modulo these
+	// counts; non-positive values would panic there instead of erroring here.
+	if cfg.HostsPerToR < 1 || cfg.ToRs < 1 || cfg.Ints < 1 {
+		return nil, fmt.Errorf("topo: VL2 needs at least one ToR, host per ToR and intermediate switch, got tors=%d hosts/tor=%d ints=%d",
+			cfg.ToRs, cfg.HostsPerToR, cfg.Ints)
+	}
 	g := newGraph(eng)
 	v := &VL2{g: g, cfg: cfg}
 	server := netem.LinkConfig{Name: "vl2-srv", Rate: cfg.ServerRate, Delay: cfg.Delay, QueueLimit: cfg.QueueLimit}

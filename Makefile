@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine experiments full validate clean
+.PHONY: all build vet test race bench bench-engine experiments full validate soak clean
 
 all: build vet test race
 
@@ -38,5 +38,13 @@ full:
 validate:
 	$(GO) run ./cmd/mptcp-bench -validate
 
+# Bounded chaos soak (EXPERIMENTS.md, "Soak & quarantine methodology"):
+# 60 generated scenarios under invariants and the run supervisor. Exit 3
+# means failing scenarios were shrunk and quarantined into ./quarantine/;
+# replay one with: go run ./cmd/mptcp-sim -replay quarantine/<file>.json
+soak:
+	$(GO) run ./cmd/mptcp-sim -soak 60 -seed 1 -soak-dir quarantine
+
 clean:
 	rm -f test_output.txt bench_output.txt experiments_output.md
+	rm -rf quarantine

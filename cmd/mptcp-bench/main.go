@@ -14,8 +14,14 @@
 // internal/obsv and EXPERIMENTS.md) per simulation run; -sample-interval
 // sets the record's sampling period in simulated time.
 //
+// Every simulation run executes under a run supervisor (internal/supervise):
+// a panicking or invariant-violating run is quarantined — its rows dropped,
+// its identity noted on the table and in the -json report — instead of
+// aborting the suite, and the whole invocation exits 3 when anything was
+// quarantined. -timeout bounds each run's wall clock (0 = none).
+//
 // -check runs the internal/check invariant checker on every simulation run
-// (the first violation aborts with the failing run's identity). -validate
+// (violations quarantine the failing run). -validate
 // skips the experiments and instead runs the fluid-model conformance suite,
 // printing the table compared against internal/check/testdata/
 // conformance_golden.txt in CI; a non-OK row exits non-zero. See
@@ -24,6 +30,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,11 +43,16 @@ import (
 	"mptcpsim/internal/exp"
 	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
+	"mptcpsim/internal/supervise"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mptcp-bench:", err)
+		var ec *supervise.ExitCodeError
+		if errors.As(err, &ec) {
+			os.Exit(ec.Code)
+		}
 		os.Exit(1)
 	}
 }
@@ -51,6 +63,15 @@ type benchRecord struct {
 	WallSeconds  float64 `json:"wall_seconds"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchOutcomes mirrors supervise.Counts into the -json report.
+type benchOutcomes struct {
+	OK          int64 `json:"ok"`
+	Retried     int64 `json:"retried"`
+	Quarantined int64 `json:"quarantined"`
+	TimedOut    int64 `json:"timed_out"`
+	OverBudget  int64 `json:"over_budget"`
 }
 
 // benchReport is the whole -json document, with enough metadata to compare
@@ -66,6 +87,10 @@ type benchReport struct {
 	Experiments  []benchRecord `json:"experiments"`
 	TotalWallSec float64       `json:"total_wall_seconds"`
 	TotalEvents  uint64        `json:"total_events"`
+	// Outcomes counts every supervised simulation run across the suite;
+	// Quarantined lists each failed run's identity and error.
+	Outcomes    benchOutcomes `json:"outcomes"`
+	Quarantined []string      `json:"quarantined,omitempty"`
 }
 
 func run(args []string) error {
@@ -84,8 +109,9 @@ func run(args []string) error {
 		jsonOut    = fs.Bool("json", false, "write per-experiment timing and event counts to BENCH_<timestamp>.json")
 		outDir     = fs.String("out", "", "write one JSONL+CSV run record per (algorithm, scenario, seed) to this directory")
 		sampleInt  = fs.Duration("sample-interval", 0, "run-record sampling period in simulated time (0 = 100ms)")
-		checkInv   = fs.Bool("check", false, "run the invariant checker on every simulation run (first violation aborts)")
+		checkInv   = fs.Bool("check", false, "run the invariant checker on every simulation run (violations quarantine the run)")
 		validate   = fs.Bool("validate", false, "run the fluid-vs-packet conformance suite instead of experiments")
+		timeout    = fs.Duration("timeout", 0, "per-run wall-clock deadline enforced by the run supervisor (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,9 +136,11 @@ func run(args []string) error {
 	if *full {
 		*scale = 1
 	}
+	sup := supervise.New(supervise.Budget{Wall: *timeout})
 	cfg := exp.Config{
 		Seed: *seed, Scale: *scale, Reps: *reps, Workers: *workers,
 		OutDir: *outDir, SampleInterval: sim.Time(*sampleInt), Check: *checkInv,
+		Sup: sup,
 	}
 
 	if *cpuprofile != "" {
@@ -168,6 +196,15 @@ func run(args []string) error {
 		report.TotalEvents += res.Events
 	}
 	report.TotalWallSec = time.Since(suiteStart).Seconds()
+	counts := sup.Counts()
+	report.Outcomes = benchOutcomes{
+		OK: counts.OK, Retried: counts.Retried, Quarantined: counts.Quarantined,
+		TimedOut: counts.TimedOut, OverBudget: counts.OverBudget,
+	}
+	for _, f := range sup.Failures() {
+		report.Quarantined = append(report.Quarantined, fmt.Sprintf("%s: %s: %s", f.ID, f.Kind, f.Msg))
+	}
+	fmt.Printf("outcomes: %s\n", counts)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
@@ -192,6 +229,14 @@ func run(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments, %.1fs, %d events)\n",
 			name, len(report.Experiments), report.TotalWallSec, report.TotalEvents)
+	}
+	if counts.Failed() > 0 {
+		// Exit 3: the tables above are valid partial results, but at least
+		// one supervised run was quarantined.
+		return &supervise.ExitCodeError{
+			Code: supervise.ExitQuarantined,
+			Msg:  fmt.Sprintf("%d of %d supervised runs quarantined (see report)", counts.Failed(), counts.Total()),
+		}
 	}
 	return nil
 }

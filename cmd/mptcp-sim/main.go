@@ -27,9 +27,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
+	"mptcpsim/internal/chaos"
 	"mptcpsim/internal/check"
 	"mptcpsim/internal/core"
 	"mptcpsim/internal/energy"
@@ -39,6 +41,7 @@ import (
 	"mptcpsim/internal/obsv"
 	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
+	"mptcpsim/internal/supervise"
 	"mptcpsim/internal/topo"
 	"mptcpsim/internal/workload"
 )
@@ -46,6 +49,10 @@ import (
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mptcp-sim:", err)
+		var ec *supervise.ExitCodeError
+		if errors.As(err, &ec) {
+			os.Exit(ec.Code)
+		}
 		os.Exit(1)
 	}
 }
@@ -85,24 +92,37 @@ type runResult struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mptcp-sim", flag.ContinueOnError)
 	var (
-		topoName = fs.String("topo", "twopath", "scenario: twopath, hetwireless, dumbbell, ec2, fattree, vl2, bcube")
-		alg      = fs.String("alg", "lia", "congestion control: "+strings.Join(core.Names(), ", "))
-		subflows = fs.Int("subflows", 2, "subflows for the datacenter topologies")
-		hosts    = fs.Int("hosts", 16, "hosts for the ec2 topology")
-		duration = fs.Duration("duration", 30*time.Second, "simulated duration")
-		transfer = fs.Int64("bytes", 0, "transfer size (0 = long-lived flow)")
-		seed     = fs.Int64("seed", 1, "random seed")
-		cross    = fs.Bool("cross", false, "add Pareto bursty cross traffic (twopath/hetwireless)")
-		rwnd     = fs.Int64("rwnd", 0, "connection receive window in segments (0 = unlimited)")
+		topoName  = fs.String("topo", "twopath", "scenario: twopath, hetwireless, dumbbell, ec2, fattree, vl2, bcube")
+		alg       = fs.String("alg", "lia", "congestion control: "+strings.Join(core.Names(), ", "))
+		subflows  = fs.Int("subflows", 2, "subflows for the datacenter topologies")
+		hosts     = fs.Int("hosts", 16, "hosts for the ec2 topology")
+		duration  = fs.Duration("duration", 30*time.Second, "simulated duration")
+		transfer  = fs.Int64("bytes", 0, "transfer size (0 = long-lived flow)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		cross     = fs.Bool("cross", false, "add Pareto bursty cross traffic (twopath/hetwireless)")
+		rwnd      = fs.Int64("rwnd", 0, "connection receive window in segments (0 = unlimited)")
 		fault     = fs.String("fault", "", `fault schedule, e.g. "path1:down@2s,up@5s;path0:flap@1s+6s/500ms" (see internal/faults)`)
 		runs      = fs.Int("runs", 1, "independent runs with seeds seed..seed+runs-1")
 		workers   = fs.Int("j", runner.DefaultWorkers(), "concurrent runs when -runs > 1")
 		traceOut  = fs.String("trace", "", "stream a JSONL run record to this file (per-seed files when -runs > 1)")
 		sampleInt = fs.Duration("sample-interval", 0, "run-record sampling period in simulated time (0 = 100ms)")
 		checkInv  = fs.Bool("check", false, "evaluate simulator invariants during the run; violations fail the run")
+		timeout   = fs.Duration("timeout", 0, "per-run wall-clock deadline enforced by the run supervisor (0 = none)")
+		soakSpec  = fs.String("soak", "", "run a chaos soak instead of one scenario: a count (\"60\") or a duration (\"10m\")")
+		soakDir   = fs.String("soak-dir", "quarantine", "directory soak failures are shrunk and quarantined into")
+		soakEv    = fs.Uint64("soak-events", 0, "per-scenario event budget during soak (0 = 20M)")
+		inject    = fs.Int("inject", 0, "arm a failpoint on every Nth soak scenario (quarantine self-test, 0 = off)")
+		replay    = fs.String("replay", "", "replay a quarantined artifact; exits 0 only if the recorded failure reproduces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *replay != "" {
+		return runReplay(*replay, *timeout, *soakEv)
+	}
+	if *soakSpec != "" {
+		return runSoak(*soakSpec, *seed, *workers, *soakDir, *timeout, *soakEv, *inject)
 	}
 
 	sc := scenario{
@@ -114,11 +134,34 @@ func run(args []string) error {
 	}
 
 	if *runs <= 1 {
-		return runOne(sc, *seed)
+		if *timeout <= 0 {
+			return runOne(sc, *seed, nil)
+		}
+		sup := supervise.New(supervise.Budget{Wall: *timeout})
+		rep := sup.Run(supervise.RunID{Seed: *seed, Scenario: sc.topo, Phase: "adhoc"},
+			func(wd *supervise.Watchdog) error { return runOne(sc, *seed, wd) })
+		if rep.Outcome.Failed() {
+			return rep.Err
+		}
+		return nil
 	}
 
+	// Every run of a batch executes under the supervisor: a panicking or
+	// invariant-violating seed is quarantined into its row instead of
+	// killing the batch, and -timeout bounds each run's wall clock.
+	sup := supervise.New(supervise.Budget{Wall: *timeout})
 	results := runner.Map(*workers, *runs, func(i int) runResult {
-		return runQuiet(sc, *seed+int64(i))
+		s := *seed + int64(i)
+		var r runResult
+		rep := sup.Run(supervise.RunID{Seed: s, Scenario: sc.topo, Phase: "adhoc"},
+			func(wd *supervise.Watchdog) error {
+				r = runQuiet(sc, s, wd)
+				return r.err
+			})
+		if rep.Outcome.Failed() {
+			r = runResult{seed: s, err: rep.Err}
+		}
+		return r
 	})
 	fmt.Printf("%-6s %12s %10s %12s %10s %10s %8s\n",
 		"seed", "goodput_mbps", "acked_mb", "energy_j", "mean_w", "events", "wall_s")
@@ -143,14 +186,81 @@ func run(args []string) error {
 		fmt.Printf("mean over %d runs: goodput %.2f Mb/s, energy %.1f J\n",
 			len(results)-len(failed), sumGoodput/n/1e6, sumJoules/n)
 	}
+	fmt.Printf("outcomes: %s\n", sup.Counts())
 	if len(failed) > 0 {
 		var sb strings.Builder
-		fmt.Fprintf(&sb, "%d of %d runs failed:", len(failed), len(results))
+		fmt.Fprintf(&sb, "%d of %d runs quarantined:", len(failed), len(results))
 		for _, r := range failed {
 			fmt.Fprintf(&sb, "\n  seed %d: %v", r.seed, r.err)
 		}
-		return errors.New(sb.String())
+		// Exit 3: the batch completed and the surviving rows above are
+		// valid, but at least one run was quarantined.
+		return &supervise.ExitCodeError{Code: supervise.ExitQuarantined, Msg: sb.String()}
 	}
+	return nil
+}
+
+// runSoak runs a chaos campaign (-soak), writing shrunk failing scenarios
+// into the quarantine directory. The argument is a scenario count or a
+// wall-clock duration.
+func runSoak(spec string, seed int64, workers int, dir string, timeout time.Duration, events uint64, inject int) error {
+	cfg := chaos.SoakConfig{
+		Seed: seed, Workers: workers, Dir: dir,
+		Timeout: timeout, MaxEvents: events, Inject: inject,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "soak: "+format+"\n", args...)
+		},
+	}
+	if n, err := strconv.Atoi(spec); err == nil {
+		if n <= 0 {
+			return fmt.Errorf("-soak count must be positive, got %d", n)
+		}
+		cfg.Count = n
+	} else if d, derr := time.ParseDuration(spec); derr == nil {
+		cfg.Duration = d
+	} else {
+		return fmt.Errorf("-soak wants a count or a duration, got %q", spec)
+	}
+	res, err := chaos.Soak(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soak: %d scenarios, %s\n", res.Scenarios, res.Counts)
+	for _, f := range res.Failures {
+		loc := f.Artifact
+		if loc == "" {
+			loc = "(artifact not written)"
+		}
+		fmt.Printf("  chaos[%d] %s %s shrink_runs=%d %s\n", f.Index, f.Outcome, f.Signature, f.ShrinkRuns, loc)
+	}
+	if res.Failed() {
+		return &supervise.ExitCodeError{
+			Code: supervise.ExitQuarantined,
+			Msg:  fmt.Sprintf("soak quarantined %d of %d scenarios", len(res.Failures), res.Scenarios),
+		}
+	}
+	return nil
+}
+
+// runReplay re-runs a quarantined artifact (-replay) and succeeds only if
+// the recorded failure signature reproduces.
+func runReplay(path string, timeout time.Duration, events uint64) error {
+	rr, err := chaos.Replay(path, supervise.Budget{Wall: timeout, Events: events})
+	if err != nil {
+		return err
+	}
+	a := rr.Artifact
+	fmt.Printf("replay: %s\n", a.Scenario)
+	fmt.Printf("recorded: %s (%s)\n", a.Signature, a.Failure.Msg)
+	observed := rr.Signature
+	if observed == "" {
+		observed = "clean run"
+	}
+	fmt.Printf("observed: %s (%s)\n", observed, rr.Outcome)
+	if !rr.Match {
+		return fmt.Errorf("replay did not reproduce the recorded failure")
+	}
+	fmt.Println("reproduced")
 	return nil
 }
 
@@ -188,6 +298,11 @@ func setup(eng *sim.Engine, sc scenario) (*mptcp.Conn, *energy.Meter, error) {
 	if sc.fault != "" {
 		pfs, err := faults.Parse(sc.fault)
 		if err != nil {
+			return nil, nil, err
+		}
+		// Reject schedules that target absent paths or lie entirely past
+		// the horizon before the run starts, instead of silently no-opping.
+		if err := faults.Validate(pfs, paths, sim.FromDuration(sc.duration)); err != nil {
 			return nil, nil, err
 		}
 		for _, pf := range pfs {
@@ -263,8 +378,9 @@ func startTrace(eng *sim.Engine, sc scenario, seed int64, conn *mptcp.Conn, mete
 }
 
 // runQuiet executes one run and returns only the summary, for -runs > 1.
-func runQuiet(sc scenario, seed int64) runResult {
+func runQuiet(sc scenario, seed int64, wd *supervise.Watchdog) runResult {
 	eng := sim.NewEngine(seed)
+	wd.Attach(eng)
 	conn, meter, err := setup(eng, sc)
 	if err != nil {
 		return runResult{seed: seed, err: err}
@@ -306,8 +422,9 @@ func runQuiet(sc scenario, seed int64) runResult {
 }
 
 // runOne executes a single run with the full per-subflow report.
-func runOne(sc scenario, seed int64) error {
+func runOne(sc scenario, seed int64, wd *supervise.Watchdog) error {
 	eng := sim.NewEngine(seed)
+	wd.Attach(eng)
 	conn, meter, err := setup(eng, sc)
 	if err != nil {
 		return err

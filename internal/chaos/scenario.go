@@ -1,0 +1,398 @@
+// Package chaos generates adversarial simulation scenarios and keeps the
+// ones that break. A seeded generator samples topology, algorithm, link
+// parameters, workload and a random fault schedule; each scenario runs
+// under internal/check invariants and an internal/supervise watchdog. A
+// failing scenario is shrunk — fewer fault clauses, less cross traffic,
+// fewer subflows, a smaller topology, a shorter horizon — to a minimal
+// repro that still fails with the same signature, then written as a
+// replayable JSON artifact into a quarantine corpus (see mptcp-sim -soak
+// and -replay).
+//
+// Determinism: scenario i of a campaign depends only on (campaign seed, i),
+// and every run seeds its own engine from the scenario, so soak results are
+// identical for any worker count — with one caveat: the wall-clock timeout
+// is a nondeterministic backstop against true hangs, and campaigns that
+// need strict determinism should bound runs by event budget (they do by
+// default).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"time"
+
+	"mptcpsim/internal/check"
+	"mptcpsim/internal/faults"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/netem"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/supervise"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/workload"
+)
+
+// Scenario is one generated chaos run, fully determined by its fields: the
+// JSON encoding is the replay format. Fault schedules use the -fault
+// grammar (see internal/faults.Parse) so a quarantined artifact can be
+// reproduced by hand with mptcp-sim flags.
+type Scenario struct {
+	Seed       int64    `json:"seed"`
+	Topo       string   `json:"topo"` // twopath | hetwireless | fattree | vl2 | bcube
+	Arity      int      `json:"arity,omitempty"`
+	Subflows   int      `json:"subflows"`
+	Algorithm  string   `json:"algorithm"`
+	RateMbps   [2]int64 `json:"rate_mbps,omitempty"` // twopath per-path rates
+	DelayMs    int      `json:"delay_ms,omitempty"`
+	QueueLimit int      `json:"queue_limit,omitempty"`
+	LossProb   float64  `json:"loss_prob,omitempty"`
+	HorizonMs  int      `json:"horizon_ms"`
+	TransferMB int      `json:"transfer_mb,omitempty"` // 0 = long-lived source
+	Cross      bool     `json:"cross,omitempty"`       // Pareto on-off cross traffic
+	Faults     string   `json:"faults,omitempty"`      // faults.Parse grammar
+	// Failpoint deliberately breaks the run to exercise the quarantine
+	// machinery: "panic@T" panics mid-run, "spin@T=D" burns D of wall
+	// clock (a simulated hang), "trip@T" injects a synthetic invariant
+	// violation. Empty for organically generated scenarios.
+	Failpoint string `json:"failpoint,omitempty"`
+}
+
+func (sc Scenario) String() string {
+	s := fmt.Sprintf("%s/%s sub=%d seed=%d horizon=%dms", sc.Topo, sc.Algorithm, sc.Subflows, sc.Seed, sc.HorizonMs)
+	if sc.Faults != "" {
+		s += " faults=" + sc.Faults
+	}
+	if sc.Failpoint != "" {
+		s += " failpoint=" + sc.Failpoint
+	}
+	return s
+}
+
+// Horizon returns the run horizon in simulated time.
+func (sc Scenario) Horizon() sim.Time { return sim.Time(sc.HorizonMs) * sim.Millisecond }
+
+// chaosAlgorithms is the pool the generator samples; it spans loss-based,
+// delay-based and energy-aware controllers plus single-path baselines.
+var chaosAlgorithms = []string{
+	"reno", "ewtcp", "coupled", "lia", "olia", "balia", "ecmtcp",
+	"wvegas", "dts", "dts-lia", "dtsep", "dtsep-lia",
+}
+
+// GenerateAt derives scenario i of a campaign from the campaign seed. The
+// derivation depends only on (seed, i), never on which worker runs it.
+func GenerateAt(seed int64, i int) Scenario {
+	rng := rand.New(rand.NewSource(seed*0x9E3779B9 + int64(i)*0x1CE4E5B9 + 0x4F6CDD1D))
+	sc := Scenario{
+		Seed:      seed + int64(i),
+		Algorithm: chaosAlgorithms[rng.Intn(len(chaosAlgorithms))],
+	}
+	switch p := rng.Intn(10); {
+	case p < 4:
+		sc.Topo = "twopath"
+	case p < 6:
+		sc.Topo = "hetwireless"
+	case p < 8:
+		sc.Topo = "fattree"
+	case p < 9:
+		sc.Topo = "vl2"
+	default:
+		sc.Topo = "bcube"
+	}
+	switch sc.Topo {
+	case "twopath":
+		sc.Subflows = 2 + rng.Intn(3)
+		sc.RateMbps = [2]int64{int64(5 + rng.Intn(96)), int64(5 + rng.Intn(96))}
+		sc.DelayMs = 2 + rng.Intn(80)
+		sc.QueueLimit = 20 + rng.Intn(180)
+		sc.HorizonMs = 2000 + rng.Intn(6000)
+		sc.Cross = rng.Intn(2) == 0
+		if rng.Intn(3) == 0 {
+			sc.LossProb = float64(rng.Intn(40)) / 1000 // up to 4%
+		}
+		if rng.Intn(2) == 0 {
+			sc.TransferMB = 1 + rng.Intn(8)
+		}
+	case "hetwireless":
+		sc.Subflows = 2
+		sc.HorizonMs = 2000 + rng.Intn(6000)
+		sc.Cross = rng.Intn(2) == 0
+		if rng.Intn(3) == 0 {
+			sc.LossProb = float64(rng.Intn(40)) / 1000
+		}
+	case "fattree":
+		sc.Arity = 2 * (1 + rng.Intn(2)) // K = 2 or 4
+		sc.Subflows = 1 + rng.Intn(4)
+		sc.HorizonMs = 1000 + rng.Intn(2000)
+	case "vl2":
+		sc.Arity = 2 + rng.Intn(3) // ToRs
+		sc.Subflows = 1 + rng.Intn(4)
+		sc.HorizonMs = 1000 + rng.Intn(2000)
+	case "bcube":
+		sc.Arity = 2 + rng.Intn(2) // N
+		sc.Subflows = 1 + rng.Intn(3)
+		sc.HorizonMs = 1000 + rng.Intn(2000)
+	}
+	sc.Faults = genFaults(rng, sc)
+	return sc
+}
+
+// genFaults samples 0-2 clauses of the -fault grammar, every instant
+// strictly inside the horizon so Validate accepts the schedule.
+func genFaults(rng *rand.Rand, sc Scenario) string {
+	n := rng.Intn(3)
+	if n == 0 {
+		return ""
+	}
+	at := func(lo, hi float64) string {
+		f := lo + rng.Float64()*(hi-lo)
+		return fmt.Sprintf("%dms", int(f*float64(sc.HorizonMs)))
+	}
+	targets := 2
+	if sc.Subflows < 2 {
+		targets = 1
+	}
+	var clauses []string
+	for c := 0; c < n; c++ {
+		target := fmt.Sprintf("path%d", rng.Intn(targets))
+		var d string
+		switch rng.Intn(5) {
+		case 0:
+			d = fmt.Sprintf("down@%s,up@%s", at(0.1, 0.4), at(0.5, 0.9))
+		case 1:
+			// period 20-30% of horizon, down for a third of the period
+			p := sc.HorizonMs / 5
+			d = fmt.Sprintf("flap@%s+%dms/%dms", at(0.1, 0.3), p, p/3)
+		case 2:
+			d = fmt.Sprintf("loss@%s=%.3f", at(0.2, 0.8), float64(rng.Intn(80))/1000)
+		case 3:
+			d = fmt.Sprintf("rate@%s=%dMbps", at(0.2, 0.8), 1+rng.Intn(50))
+		default:
+			d = fmt.Sprintf("delay@%s=%dms", at(0.2, 0.8), 1+rng.Intn(150))
+		}
+		clauses = append(clauses, target+":"+d)
+	}
+	return strings.Join(clauses, ";")
+}
+
+// built is a constructed scenario ready to run.
+type built struct {
+	eng   *sim.Engine
+	conn  *mptcp.Conn
+	paths []*netem.Path // the connection's path list; fault targets resolve here
+}
+
+// repeat fans n subflows over the physical paths round-robin.
+func repeat(paths []*netem.Path, n int) []*netem.Path {
+	out := make([]*netem.Path, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, paths[i%len(paths)])
+	}
+	return out
+}
+
+// Build constructs the scenario's engine, topology, workload and fault
+// schedule. Errors (bad algorithm, unresolvable fault target, schedule past
+// horizon) are returned, not panicked: in a soak they quarantine just the
+// one scenario.
+func (sc Scenario) Build() (*built, error) {
+	if sc.Subflows < 1 {
+		return nil, fmt.Errorf("chaos: scenario needs at least one subflow, got %d", sc.Subflows)
+	}
+	if sc.HorizonMs <= 0 {
+		return nil, fmt.Errorf("chaos: scenario needs a positive horizon, got %dms", sc.HorizonMs)
+	}
+	eng := sim.NewEngine(sc.Seed)
+	var paths []*netem.Path
+	switch sc.Topo {
+	case "twopath":
+		tp := topo.NewTwoPath(eng, topo.TwoPathConfig{
+			Rates:      [2]int64{sc.RateMbps[0] * netem.Mbps, sc.RateMbps[1] * netem.Mbps},
+			Delay:      sim.Time(sc.DelayMs) * sim.Millisecond,
+			QueueLimit: sc.QueueLimit,
+		})
+		if sc.LossProb > 0 {
+			for _, l := range tp.Paths()[0].Forward {
+				l.SetLossProb(sc.LossProb)
+			}
+		}
+		if sc.Cross {
+			for i := 0; i < 2; i++ {
+				workload.NewParetoOnOff(eng, []*netem.Link{tp.CrossEntry(i)}, workload.ParetoConfig{
+					RateBps: sc.RateMbps[i] * netem.Mbps * 9 / 10,
+				}).Start()
+			}
+		}
+		paths = repeat(tp.Paths(), sc.Subflows)
+	case "hetwireless":
+		het := topo.NewHetWireless(eng, topo.HetWirelessConfig{WiFiLoss: sc.LossProb})
+		if sc.Cross {
+			workload.NewParetoOnOff(eng, []*netem.Link{het.CrossEntry(0)}, workload.ParetoConfig{
+				RateBps: 8 * netem.Mbps,
+			}).Start()
+			workload.NewParetoOnOff(eng, []*netem.Link{het.CrossEntry(1)}, workload.ParetoConfig{
+				RateBps: 16 * netem.Mbps,
+			}).Start()
+		}
+		paths = repeat(het.Paths(), sc.Subflows)
+	case "fattree", "vl2", "bcube":
+		net, err := sc.buildDC(eng)
+		if err != nil {
+			return nil, err
+		}
+		hosts := net.Hosts()
+		if hosts < 2 {
+			return nil, fmt.Errorf("chaos: %s arity %d yields %d hosts", sc.Topo, sc.Arity, hosts)
+		}
+		dst := 1 + eng.Rand().Intn(hosts-1)
+		paths = net.Paths(0, dst, sc.Subflows)
+	default:
+		return nil, fmt.Errorf("chaos: unknown topology %q", sc.Topo)
+	}
+
+	cfg := mptcp.Config{Algorithm: sc.Algorithm, TransferBytes: int64(sc.TransferMB) << 20}
+	conn, err := mptcp.New(eng, cfg, 1, paths...)
+	if err != nil {
+		return nil, err
+	}
+
+	if sc.Faults != "" {
+		pfs, err := faults.Parse(sc.Faults)
+		if err != nil {
+			return nil, err
+		}
+		if err := faults.Validate(pfs, paths, sc.Horizon()); err != nil {
+			return nil, err
+		}
+		for _, pf := range pfs {
+			p, err := faults.Resolve(pf.Target, paths)
+			if err != nil {
+				return nil, err
+			}
+			faults.Apply(eng, p, pf.Faults...)
+		}
+	}
+	return &built{eng: eng, conn: conn, paths: paths}, nil
+}
+
+// dcNet is the common surface of the three datacenter topologies.
+type dcNet interface {
+	Hosts() int
+	Paths(src, dst, n int) []*netem.Path
+}
+
+func (sc Scenario) buildDC(eng *sim.Engine) (dcNet, error) {
+	switch sc.Topo {
+	case "fattree":
+		return topo.NewFatTree(eng, topo.FatTreeConfig{K: sc.Arity})
+	case "vl2":
+		a := sc.Arity / 2
+		if a < 2 {
+			a = 2
+		}
+		return topo.NewVL2(eng, topo.VL2Config{HostsPerToR: 2, ToRs: sc.Arity, Aggs: a, Ints: a})
+	default:
+		return topo.NewBCube(eng, topo.BCubeConfig{N: sc.Arity, K: 1})
+	}
+}
+
+// Run executes the scenario under invariant checking, with the watchdog
+// (nil-safe) attached to the engine. It returns the build error, the
+// failpoint's effect, or the collected invariant violations; a panic out of
+// the engine propagates to the supervisor as usual.
+func (sc Scenario) Run(wd *supervise.Watchdog) error {
+	b, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	wd.Attach(b.eng)
+	inv := check.New(b.eng)
+	inv.Watch("conn", b.conn)
+	inv.WatchPaths(b.paths...)
+	if err := sc.installFailpoint(b.eng, inv); err != nil {
+		return err
+	}
+	inv.Start()
+	b.conn.Start()
+	b.eng.Run(sc.Horizon())
+	inv.Final()
+	return inv.Err()
+}
+
+// installFailpoint arms the scenario's deliberate failure, if any.
+func (sc Scenario) installFailpoint(eng *sim.Engine, inv *check.Invariants) error {
+	if sc.Failpoint == "" {
+		return nil
+	}
+	kind, arg, ok := strings.Cut(sc.Failpoint, "@")
+	if !ok {
+		return fmt.Errorf("chaos: failpoint %q has no @time", sc.Failpoint)
+	}
+	switch kind {
+	case "panic":
+		at, err := time.ParseDuration(arg)
+		if err != nil {
+			return fmt.Errorf("chaos: failpoint %q: %v", sc.Failpoint, err)
+		}
+		eng.Schedule(sim.FromDuration(at), func() {
+			panic(fmt.Sprintf("chaos: injected panic failpoint at %v", at))
+		})
+	case "spin":
+		atStr, durStr, ok := strings.Cut(arg, "=")
+		if !ok {
+			return fmt.Errorf("chaos: spin failpoint %q needs @time=duration", sc.Failpoint)
+		}
+		at, err := time.ParseDuration(atStr)
+		if err != nil {
+			return fmt.Errorf("chaos: failpoint %q: %v", sc.Failpoint, err)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return fmt.Errorf("chaos: failpoint %q: %v", sc.Failpoint, err)
+		}
+		eng.Schedule(sim.FromDuration(at), func() {
+			// A simulated hang: burn real wall clock inside one event so
+			// only the wall-deadline watchdog can end the run.
+			time.Sleep(d)
+		})
+	case "trip":
+		at, err := time.ParseDuration(arg)
+		if err != nil {
+			return fmt.Errorf("chaos: failpoint %q: %v", sc.Failpoint, err)
+		}
+		simAt := sim.FromDuration(at)
+		eng.Schedule(simAt, func() {
+			inv.Inject(check.Violation{T: simAt, Invariant: "chaos.failpoint", Detail: "injected violation"})
+		})
+	default:
+		return fmt.Errorf("chaos: unknown failpoint %q (want panic/spin/trip)", kind)
+	}
+	return nil
+}
+
+// invariantRe extracts the invariant name out of a check failure message,
+// in both its shapes (the FailFast panic and the collected Err summary);
+// Violation.String renders "t=1.234s name: detail".
+var invariantRe = regexp.MustCompile(`t=\d+\.\d+s ([a-zA-Z0-9._-]+):`)
+
+// Signature classifies a RunError into a stable failure signature: the
+// shrinker only accepts a smaller scenario that fails with the SAME
+// signature, and quarantine artifacts are named by it.
+func Signature(re *supervise.RunError) string {
+	if re == nil {
+		return ""
+	}
+	switch re.Kind {
+	case supervise.KindTimeout:
+		return "timeout"
+	case supervise.KindBudget:
+		return "budget"
+	}
+	if m := invariantRe.FindStringSubmatch(re.Msg); m != nil {
+		return "invariant." + m[1]
+	}
+	if re.Kind == supervise.KindPanic {
+		return "panic"
+	}
+	return "error"
+}

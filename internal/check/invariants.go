@@ -435,6 +435,12 @@ func (inv *Invariants) Check() {
 // end-of-run state is covered even when the horizon fell between ticks.
 func (inv *Invariants) Final() { inv.Check() }
 
+// Inject reports v as if a checker had found it, honouring FailFast. It is
+// the failpoint hook the chaos subsystem uses to exercise the quarantine
+// and shrinking machinery with a synthetic, perfectly reproducible
+// violation — production checkers never call it.
+func (inv *Invariants) Inject(v Violation) { inv.report(v) }
+
 func (inv *Invariants) report(vs ...Violation) {
 	if len(vs) == 0 {
 		return

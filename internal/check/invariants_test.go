@@ -303,3 +303,27 @@ func TestErrSummarizes(t *testing.T) {
 		t.Fatalf("Err() = %v, want mention of %s", err, InvClock)
 	}
 }
+
+// TestInject verifies the chaos failpoint hook behaves exactly like a
+// checker-found violation in both modes.
+func TestInject(t *testing.T) {
+	eng := sim.NewEngine(1)
+	inv := New(eng)
+	v := Violation{T: sim.Second, Invariant: "chaos.failpoint", Detail: "injected"}
+	inv.Inject(v)
+	if err := inv.Err(); err == nil || !strings.Contains(err.Error(), "chaos.failpoint") {
+		t.Fatalf("Err() = %v, want injected violation", err)
+	}
+
+	ff := New(eng)
+	ff.FailFast = true
+	defer func() {
+		r := recover()
+		s, ok := r.(string)
+		if !ok || !strings.Contains(s, "chaos.failpoint") {
+			t.Fatalf("recovered %v, want FailFast panic naming the invariant", r)
+		}
+	}()
+	ff.Inject(v)
+	t.Fatalf("FailFast Inject did not panic")
+}

@@ -9,6 +9,7 @@ import (
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/pathsel"
 	"mptcpsim/internal/sim"
+	"mptcpsim/internal/supervise"
 	"mptcpsim/internal/tcp"
 	"mptcpsim/internal/topo"
 	"mptcpsim/internal/workload"
@@ -30,8 +31,9 @@ func tcpConfigHystart(disable bool) tcp.Config {
 // instances carry per-run state, so callers running on the pool must
 // construct a fresh instance per run. expID and scenario identify the run
 // record when Config.OutDir is set.
-func shiftRunWith(cfg Config, expID, scenario string, seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, joules float64, events uint64) {
+func shiftRunWith(cfg Config, wd *supervise.Watchdog, expID, scenario string, seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
+	wd.Attach(eng)
 	tp := topo.NewTwoPath(eng, topo.TwoPathConfig{Rate: 50 * netem.Mbps})
 	for i := 0; i < 2; i++ {
 		workload.NewParetoOnOff(eng, []*netem.Link{tp.CrossEntry(i)}, workload.ParetoConfig{}).Start()
@@ -68,10 +70,10 @@ func AblationC(cfg Config) *Result {
 	horizon := cfg.scaledTime(300*sim.Second, 60*sim.Second)
 	reps := cfg.reps(3)
 	cs := []float64{0.5, 1.0, 1.5, 2.0}
-	outs := runPar(cfg, len(cs)*reps, func(i int) ablOut {
+	outs := runPar(cfg, res, len(cs)*reps, func(i int, wd *supervise.Watchdog) ablOut {
 		c, r := cs[i/reps], i%reps
 		// A fresh DTS instance per run: algorithm state is per-connection.
-		tp, j, ev := shiftRunWith(cfg, "abl-c", fmt.Sprintf("burst-c%g", c), cfg.Seed+int64(r), &core.DTS{C: c}, horizon)
+		tp, j, ev := shiftRunWith(cfg, wd, "abl-c", fmt.Sprintf("burst-c%g", c), cfg.Seed+int64(r), &core.DTS{C: c}, horizon)
 		return ablOut{tput: tp, joules: j, events: ev}
 	})
 	for ci, c := range cs {
@@ -123,9 +125,9 @@ func AblationKappa(cfg Config) *Result {
 		tput, share float64
 		events      uint64
 	}
-	outs := runPar(cfg, len(kappas)*reps, func(i int) kappaOut {
+	outs := runPar(cfg, res, len(kappas)*reps, func(i int, wd *supervise.Watchdog) kappaOut {
 		kappa, r := kappas[i/reps], i%reps
-		tp, sh, ev := pricedShiftRun(cfg, fmt.Sprintf("priced-kappa%g", kappa), cfg.Seed+int64(r), core.NewDTSEPLIA(kappa), horizon)
+		tp, sh, ev := pricedShiftRun(cfg, wd, fmt.Sprintf("priced-kappa%g", kappa), cfg.Seed+int64(r), core.NewDTSEPLIA(kappa), horizon)
 		return kappaOut{tput: tp, share: sh, events: ev}
 	})
 	for ki, kappa := range kappas {
@@ -145,8 +147,9 @@ func AblationKappa(cfg Config) *Result {
 
 // pricedShiftRun runs two clean 50 Mb/s paths with the second one charged
 // an energy price, returning goodput and the priced path's traffic share.
-func pricedShiftRun(cfg Config, scenario string, seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, pricedShare float64, events uint64) {
+func pricedShiftRun(cfg Config, wd *supervise.Watchdog, scenario string, seed int64, alg core.Algorithm, horizon sim.Time) (tputBps, pricedShare float64, events uint64) {
 	eng := sim.NewEngine(seed)
+	wd.Attach(eng)
 	tp := topo.NewTwoPath(eng, topo.TwoPathConfig{Rate: 50 * netem.Mbps})
 	for _, l := range tp.Paths()[1].Forward {
 		l.SetPrice(1.0, 0.05, 25)
@@ -187,9 +190,10 @@ func AblationHystart(cfg Config) *Result {
 	}
 	transfer := cfg.scaledBytes(256<<20, 8<<20)
 	variants := []bool{false, true}
-	res.addRows(runPar(cfg, len(variants), func(i int) runRow {
+	res.addRows(runPar(cfg, res, len(variants), func(i int, wd *supervise.Watchdog) runRow {
 		disable := variants[i]
 		eng := sim.NewEngine(cfg.Seed)
+		wd.Attach(eng)
 		fwd := netem.NewLink(eng, netem.LinkConfig{Name: "f", Rate: 100 * netem.Mbps, Delay: 20 * sim.Millisecond, QueueLimit: 1500})
 		rev := netem.NewLink(eng, netem.LinkConfig{Name: "r", Rate: 100 * netem.Mbps, Delay: 20 * sim.Millisecond})
 		p := &netem.Path{Name: "p", Forward: []*netem.Link{fwd}, Reverse: []*netem.Link{rev}}
@@ -237,9 +241,9 @@ func AblationPathsel(cfg Config) *Result {
 	horizon := cfg.scaledTime(200*sim.Second, 40*sim.Second)
 	reps := cfg.reps(3)
 	approaches := []string{"lia", "dts-lia", "lia+selector"}
-	outs := runPar(cfg, len(approaches)*reps, func(i int) ablOut {
+	outs := runPar(cfg, res, len(approaches)*reps, func(i int, wd *supervise.Watchdog) ablOut {
 		approach, r := approaches[i/reps], i%reps
-		tp, j, ev := pathselRun(cfg, cfg.Seed+int64(r), approach, horizon)
+		tp, j, ev := pathselRun(cfg, wd, cfg.Seed+int64(r), approach, horizon)
 		return ablOut{tput: tp, joules: j, events: ev}
 	})
 	for ai, approach := range approaches {
@@ -260,8 +264,9 @@ func AblationPathsel(cfg Config) *Result {
 }
 
 // pathselRun runs the Fig. 17 wireless scenario with the given approach.
-func pathselRun(cfg Config, seed int64, approach string, horizon sim.Time) (tputBps, joules float64, events uint64) {
+func pathselRun(cfg Config, wd *supervise.Watchdog, seed int64, approach string, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
+	wd.Attach(eng)
 	het := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
 	workload.NewParetoOnOff(eng, []*netem.Link{het.CrossEntry(0)}, workload.ParetoConfig{
 		RateBps: 8 * netem.Mbps,

@@ -10,6 +10,7 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -18,6 +19,7 @@ import (
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/runner"
 	"mptcpsim/internal/sim"
+	"mptcpsim/internal/supervise"
 )
 
 // Config controls an experiment run.
@@ -49,6 +51,13 @@ type Config struct {
 	// the failing run's identity). The test suite and CI keep it on; it is
 	// exposed as -check on cmd/mptcp-bench.
 	Check bool
+	// Sup, when set, supervises every pool run: panics and invariant trips
+	// are quarantined into the supervisor (the failing row is dropped and
+	// noted on the Result) instead of aborting the whole experiment, and
+	// the supervisor's Budget bounds each run's wall clock and event count.
+	// Nil keeps the historical fail-fast behaviour: the first panic
+	// propagates to the caller.
+	Sup *supervise.Supervisor
 }
 
 func (c Config) withDefaults() Config {
@@ -66,9 +75,53 @@ func (c Config) withDefaults() Config {
 
 // runPar fans n independent run closures of one figure over the config's
 // worker pool. Closures must not share engines or any mutable state; each
-// derives everything (including its seed) from its index.
-func runPar[T any](cfg Config, n int, fn func(i int) T) []T {
-	return runner.Map(cfg.Workers, n, fn)
+// derives everything (including its seed) from its index, and must attach
+// the given watchdog to the engine it builds (Attach is nil-safe, so the
+// unsupervised path passes wd = nil).
+//
+// With cfg.Sup set, each index runs under the supervisor: a failed index
+// yields the zero T (figures collecting runRow drop it via addRows) and a
+// deterministic note on res, ordered by index regardless of Workers. With
+// cfg.Sup nil, the first captured panic is re-raised — the historical
+// fail-fast contract the test suite relies on.
+func runPar[T any](cfg Config, res *Result, n int, fn func(i int, wd *supervise.Watchdog) T) []T {
+	if cfg.Sup == nil {
+		out, errs := runner.MapErr(cfg.Workers, n, func(i int) (T, error) {
+			return fn(i, nil), nil
+		})
+		for _, err := range errs {
+			var pe *runner.PanicError
+			if errors.As(err, &pe) {
+				panic(pe.Value)
+			}
+		}
+		return out
+	}
+	reports := make([]supervise.Report, n)
+	out, _ := runner.MapErr(cfg.Workers, n, func(i int) (T, error) {
+		var v T
+		rep := cfg.Sup.Run(supervise.RunID{
+			Seed:     cfg.Seed,
+			Scenario: fmt.Sprintf("%s[%d]", res.ID, i),
+			Phase:    res.ID,
+		}, func(wd *supervise.Watchdog) error {
+			v = fn(i, wd)
+			return nil
+		})
+		reports[i] = rep
+		if rep.Outcome.Failed() {
+			var zero T
+			return zero, rep.Err
+		}
+		return v, nil
+	})
+	for i, rep := range reports {
+		if rep.Outcome.Failed() {
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("run %s[%d] %s: %s", res.ID, i, rep.Outcome, rep.Err.Msg))
+		}
+	}
+	return out
 }
 
 // scaled returns n scaled down, never below min.
@@ -138,9 +191,14 @@ type runRow struct {
 }
 
 // addRows appends pool-collected rows in submission order and accumulates
-// their event counts.
+// their event counts. Rows with nil cells — quarantined runs under a
+// supervisor — are dropped: the table keeps only the runs that finished,
+// and the Result's notes name the missing ones.
 func (r *Result) addRows(rows []runRow) {
 	for _, row := range rows {
+		if row.cells == nil {
+			continue
+		}
 		r.AddRow(row.cells...)
 		r.Events += row.events
 	}

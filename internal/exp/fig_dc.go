@@ -8,6 +8,7 @@ import (
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
 	"mptcpsim/internal/stats"
+	"mptcpsim/internal/supervise"
 	"mptcpsim/internal/topo"
 	"mptcpsim/internal/workload"
 )
@@ -44,9 +45,10 @@ func Fig10(cfg Config) *Result {
 		{name: "lia", paths: 4},
 		{name: "dts-lia", paths: 4},
 	}
-	outcomes := runPar(cfg, len(algs), func(i int) outcome {
+	outcomes := runPar(cfg, res, len(algs), func(i int, wd *supervise.Watchdog) outcome {
 		a := algs[i]
 		eng := sim.NewEngine(cfg.Seed)
+		wd.Attach(eng)
 		vpc := topo.NewEC2VPC(eng, topo.EC2Config{Hosts: hosts, MarkThreshold: 20})
 		perm := workload.Permutation(eng, hosts)
 		obs := cfg.observe(eng, "fig10", fmt.Sprintf("ec2-%dhosts", hosts), a.name, cfg.Seed)
@@ -216,9 +218,10 @@ func dcOverheadSweep(cfg Config, kind, expect string) *Result {
 	horizon := cfg.scaledTime(60*sim.Second, 10*sim.Second)
 	reps := cfg.reps(3)
 	subflows := []int{1, 2, 4, 8}
-	outs := runPar(cfg, len(subflows)*reps, func(i int) dcOut {
+	outs := runPar(cfg, res, len(subflows)*reps, func(i int, wd *supervise.Watchdog) dcOut {
 		nsub, r := subflows[i/reps], i%reps
 		eng := sim.NewEngine(cfg.Seed + int64(r))
+		wd.Attach(eng)
 		net := dcBuild(eng, kind, cfg.Scale)
 		obs := cfg.observe(eng, res.ID, fmt.Sprintf("%s-%dsub", kind, nsub), "lia", cfg.Seed+int64(r))
 		j, b, _ := dcRun(net, eng, "lia", nsub, horizon, false, obs)
@@ -269,26 +272,26 @@ func Fig14(cfg Config) *Result {
 }
 
 // dcCompareAlgs runs the priced FatTree/VL2 experiment behind Figs. 15-16:
-// LIA vs DTS vs extended DTS with 8 subflows. It also returns the total
-// events processed. expID names the figure the run records (if any) are
-// filed under — Fig15 and Fig16 re-run the same experiment independently.
-func dcCompareAlgs(cfg Config, expID string) (map[string]map[string][3]float64, uint64) {
+// LIA vs DTS vs extended DTS with 8 subflows. Run records (if any) are
+// filed under res.ID, and events accumulate straight onto res — Fig15 and
+// Fig16 re-run the same experiment independently.
+func dcCompareAlgs(cfg Config, res *Result) map[string]map[string][3]float64 {
 	cfg = cfg.withDefaults()
 	horizon := cfg.scaledTime(60*sim.Second, 10*sim.Second)
 	reps := cfg.reps(3)
 	kinds := []string{"fattree", "vl2"}
 	algs := []string{"lia", "dts-lia", "dtsep-lia"}
-	outs := runPar(cfg, len(kinds)*len(algs)*reps, func(i int) dcOut {
+	outs := runPar(cfg, res, len(kinds)*len(algs)*reps, func(i int, wd *supervise.Watchdog) dcOut {
 		kind := kinds[i/(len(algs)*reps)]
 		alg := algs[i/reps%len(algs)]
 		r := i % reps
 		eng := sim.NewEngine(cfg.Seed + int64(r))
+		wd.Attach(eng)
 		net := dcBuild(eng, kind, cfg.Scale)
-		obs := cfg.observe(eng, expID, fmt.Sprintf("%s-priced-8sub", kind), alg, cfg.Seed+int64(r))
+		obs := cfg.observe(eng, res.ID, fmt.Sprintf("%s-priced-8sub", kind), alg, cfg.Seed+int64(r))
 		j, b, _ := dcRun(net, eng, alg, 8, horizon, true, obs)
 		return dcOut{joules: j, bytes: b, events: eng.Processed()}
 	})
-	var events uint64
 	out := make(map[string]map[string][3]float64)
 	for k, kind := range kinds {
 		out[kind] = make(map[string][3]float64)
@@ -300,7 +303,7 @@ func dcCompareAlgs(cfg Config, expID string) (map[string]map[string][3]float64, 
 				joules += o.joules
 				bytes += o.bytes
 				tput += float64(o.bytes) * 8 / horizon.Seconds()
-				events += o.events
+				res.Events += o.events
 			}
 			joules /= float64(reps)
 			bytes /= uint64(reps)
@@ -308,7 +311,7 @@ func dcCompareAlgs(cfg Config, expID string) (map[string]map[string][3]float64, 
 			out[kind][alg] = [3]float64{energy.PerGigabit(joules, bytes), tput, joules}
 		}
 	}
-	return out, events
+	return out
 }
 
 // Fig15 reports the energy saving of the extended DTS in FatTree and VL2.
@@ -321,8 +324,7 @@ func Fig15(cfg Config) *Result {
 			"paper expectation: the extended algorithm saves up to ~20% energy cost vs LIA",
 		},
 	}
-	data, events := dcCompareAlgs(cfg, "fig15")
-	res.Events = events
+	data := dcCompareAlgs(cfg, res)
 	for _, kind := range []string{"fattree", "vl2"} {
 		base := data[kind]["lia"][0]
 		for _, alg := range []string{"lia", "dts-lia", "dtsep-lia"} {
@@ -344,8 +346,7 @@ func Fig16(cfg Config) *Result {
 			"paper expectation: DTS gets as good utilization as LIA",
 		},
 	}
-	data, events := dcCompareAlgs(cfg, "fig16")
-	res.Events = events
+	data := dcCompareAlgs(cfg, res)
 	for _, kind := range []string{"fattree", "vl2"} {
 		base := data[kind]["lia"][1]
 		for _, alg := range []string{"lia", "dts-lia", "dtsep-lia"} {

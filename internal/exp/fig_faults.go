@@ -8,6 +8,7 @@ import (
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
+	"mptcpsim/internal/supervise"
 	"mptcpsim/internal/topo"
 )
 
@@ -30,8 +31,9 @@ type faultsOutcome struct {
 // runFaultScenario executes one algorithm under one fault scenario. Fault
 // instants are fractions of the horizon so every Scale still exercises
 // failure, survival and recovery before the transfer would finish.
-func runFaultScenario(cfg Config, seed int64, alg, scenario string, horizon sim.Time) faultsOutcome {
+func runFaultScenario(cfg Config, wd *supervise.Watchdog, seed int64, alg, scenario string, horizon sim.Time) faultsOutcome {
 	eng := sim.NewEngine(seed)
+	wd.Attach(eng)
 	obs := cfg.observe(eng, "faults", scenario, alg, seed)
 	var conn *mptcp.Conn
 	var joules func() float64
@@ -130,11 +132,11 @@ func FigFaults(cfg Config) *Result {
 	reps := cfg.reps(3)
 	algs := []string{"ewtcp", "coupled", "lia", "olia", "balia", "wvegas", "dts", "dts-lia"}
 	scenarios := []string{"outage", "flap", "handover"}
-	outs := runPar(cfg, len(scenarios)*len(algs)*reps, func(i int) faultsOutcome {
+	outs := runPar(cfg, res, len(scenarios)*len(algs)*reps, func(i int, wd *supervise.Watchdog) faultsOutcome {
 		scenario := scenarios[i/(len(algs)*reps)]
 		alg := algs[i/reps%len(algs)]
 		r := i % reps
-		return runFaultScenario(cfg, cfg.Seed+int64(r), alg, scenario, horizon)
+		return runFaultScenario(cfg, wd, cfg.Seed+int64(r), alg, scenario, horizon)
 	})
 	for s, scenario := range scenarios {
 		for a, alg := range algs {

@@ -3,6 +3,8 @@ package exp
 import (
 	"fmt"
 
+	"mptcpsim/internal/supervise"
+
 	"mptcpsim/internal/energy"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
@@ -76,9 +78,10 @@ func Fig1(cfg Config) *Result {
 		{"mptcp-2nic", 6, false},
 		{"mptcp-2nic", 8, false},
 	}
-	res.addRows(runPar(cfg, len(specs), func(i int) runRow {
+	res.addRows(runPar(cfg, res, len(specs), func(i int, wd *supervise.Watchdog) runRow {
 		sp := specs[i]
 		eng := sim.NewEngine(cfg.Seed)
+		wd.Attach(eng)
 		paths := twoNICPaths(eng, 100*netem.Mbps, 150*sim.Microsecond)
 		if sp.singleNIC {
 			paths = paths[:1]
@@ -133,9 +136,10 @@ func Fig2(cfg Config) *Result {
 		{"tcp-lte", false, true},
 		{"mptcp-wifi+lte", true, true},
 	}
-	res.addRows(runPar(cfg, len(specs), func(i int) runRow {
+	res.addRows(runPar(cfg, res, len(specs), func(i int, wd *supervise.Watchdog) runRow {
 		sp := specs[i]
 		eng := sim.NewEngine(cfg.Seed)
+		wd.Attach(eng)
 		het := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
 		var paths []*netem.Path
 		if sp.useWiFi {
@@ -234,9 +238,10 @@ func Fig3a(cfg Config) *Result {
 	transfer := cfg.scaledBytes(10<<30, 64<<20)
 
 	rates := []int64{200, 400, 600, 800, 1000}
-	res.addRows(runPar(cfg, len(rates), func(i int) runRow {
+	res.addRows(runPar(cfg, res, len(rates), func(i int, wd *supervise.Watchdog) runRow {
 		mbps := rates[i]
 		eng := sim.NewEngine(cfg.Seed)
+		wd.Attach(eng)
 		paths := twoNICPaths(eng, mbps/2*netem.Mbps, 150*sim.Microsecond)
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia", TransferBytes: transfer}, 1, paths...)
 		meter := meterFor(eng, energy.NewI7(), conn)
@@ -284,9 +289,10 @@ func Fig3b(cfg Config) *Result {
 	transfer := cfg.scaledBytes(500<<20, 16<<20)
 
 	rates := []int64{10, 20, 30, 40, 50}
-	res.addRows(runPar(cfg, len(rates), func(i int) runRow {
+	res.addRows(runPar(cfg, res, len(rates), func(i int, wd *supervise.Watchdog) runRow {
 		mbps := rates[i]
 		eng := sim.NewEngine(cfg.Seed)
+		wd.Attach(eng)
 		fwd := netem.NewLink(eng, netem.LinkConfig{Name: "wifi-f", Rate: mbps * netem.Mbps, Delay: 20 * sim.Millisecond, QueueLimit: 100})
 		rev := netem.NewLink(eng, netem.LinkConfig{Name: "wifi-r", Rate: mbps * netem.Mbps, Delay: 20 * sim.Millisecond, QueueLimit: 100})
 		p := &netem.Path{Name: "wifi", Forward: []*netem.Link{fwd}, Reverse: []*netem.Link{rev}}
@@ -344,9 +350,10 @@ func Fig4(cfg Config) *Result {
 	// make LIA's coupled recovery span the whole horizon and throughput
 	// would no longer be held fixed (the paper's testbed delays are small).
 	delays := []sim.Time{500 * sim.Microsecond, 2 * sim.Millisecond, 5 * sim.Millisecond}
-	res.addRows(runPar(cfg, len(delays), func(i int) runRow {
+	res.addRows(runPar(cfg, res, len(delays), func(i int, wd *supervise.Watchdog) runRow {
 		delay := delays[i]
 		eng := sim.NewEngine(cfg.Seed)
+		wd.Attach(eng)
 		paths := fixedQueuePaths(eng, 100*netem.Mbps, delay, 100)
 		conn := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia"}, 1, paths...)
 		meter := meterFor(eng, energy.NewI7(), conn)

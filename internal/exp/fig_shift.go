@@ -8,6 +8,7 @@ import (
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
 	"mptcpsim/internal/stats"
+	"mptcpsim/internal/supervise"
 	"mptcpsim/internal/topo"
 	"mptcpsim/internal/workload"
 )
@@ -44,9 +45,9 @@ func Fig6(cfg Config) *Result {
 			specs = append(specs, spec{n: n, alg: alg})
 		}
 	}
-	res.addRows(runPar(cfg, len(specs), func(i int) runRow {
+	res.addRows(runPar(cfg, res, len(specs), func(i int, wd *supervise.Watchdog) runRow {
 		sp := specs[i]
-		energies, events := fig6UserEnergies(cfg, sp.n, sp.alg, transfer)
+		energies, events := fig6UserEnergies(cfg, wd, sp.n, sp.alg, transfer)
 		b := stats.NewBox(energies)
 		return runRow{events: events, cells: []string{
 			fmt.Sprintf("%d", sp.n), sp.alg,
@@ -60,8 +61,9 @@ func Fig6(cfg Config) *Result {
 // energy consumption of the N MPTCP transfers plus the events processed.
 // When records are exported, user 0 is the observed connection (one record
 // per run; the other users are statistically equivalent).
-func fig6UserEnergies(cfg Config, n int, alg string, transfer int64) ([]float64, uint64) {
+func fig6UserEnergies(cfg Config, wd *supervise.Watchdog, n int, alg string, transfer int64) ([]float64, uint64) {
 	eng := sim.NewEngine(cfg.Seed)
+	wd.Attach(eng)
 	d := topo.NewDumbbell(eng, topo.DumbbellConfig{Users: 3 * n})
 	obs := cfg.observe(eng, "fig6", fmt.Sprintf("dumbbell-%dusers", n), alg, cfg.Seed)
 
@@ -112,8 +114,9 @@ var fig7Algorithms = []string{"lia", "olia", "balia", "ecmtcp", "wvegas"}
 // with Pareto bursty cross traffic on each, returning mean goodput (b/s),
 // sender energy (J) and events processed. expID names the figure the run
 // record (if any) is filed under.
-func shiftRun(cfg Config, expID string, seed int64, alg string, horizon sim.Time) (tputBps, joules float64, events uint64) {
+func shiftRun(cfg Config, wd *supervise.Watchdog, expID string, seed int64, alg string, horizon sim.Time) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
+	wd.Attach(eng)
 	// 45 Mb/s bursts on a 50 Mb/s path genuinely flip it to the Bad
 	// state of Fig. 5b; on a faster path they would barely register.
 	tp := topo.NewTwoPath(eng, topo.TwoPathConfig{Rate: 50 * netem.Mbps})
@@ -160,9 +163,9 @@ func Fig7(cfg Config) *Result {
 	}
 	// One pool run per (algorithm, repetition); the seed depends only on
 	// the repetition index, exactly as the sequential loops derived it.
-	outs := runPar(cfg, len(fig7Algorithms)*reps, func(i int) shiftOut {
+	outs := runPar(cfg, res, len(fig7Algorithms)*reps, func(i int, wd *supervise.Watchdog) shiftOut {
 		alg, r := fig7Algorithms[i/reps], i%reps
-		tp, j, ev := shiftRun(cfg, "fig7", cfg.Seed+int64(r), alg, horizon)
+		tp, j, ev := shiftRun(cfg, wd, "fig7", cfg.Seed+int64(r), alg, horizon)
 		return shiftOut{tput: tp, joules: j, events: ev}
 	})
 	for a, alg := range fig7Algorithms {
@@ -202,9 +205,10 @@ func Fig8(cfg Config) *Result {
 	}
 	// The per-sample stepping is inherently sequential within one run, so
 	// the pool fans out over algorithms only.
-	traces := runPar(cfg, len(algs), func(ai int) traceOut {
+	traces := runPar(cfg, res, len(algs), func(ai int, wd *supervise.Watchdog) traceOut {
 		alg := algs[ai]
 		eng := sim.NewEngine(cfg.Seed)
+		wd.Attach(eng)
 		// 45 Mb/s bursts on a 50 Mb/s path genuinely flip it to the Bad
 		// state of Fig. 5b; on a faster path they would barely register.
 		tp := topo.NewTwoPath(eng, topo.TwoPathConfig{Rate: 50 * netem.Mbps})
@@ -265,9 +269,9 @@ func Fig9(cfg Config) *Result {
 		tput, joules float64
 		events       uint64
 	}
-	outs := runPar(cfg, len(algs)*reps, func(i int) shiftOut {
+	outs := runPar(cfg, res, len(algs)*reps, func(i int, wd *supervise.Watchdog) shiftOut {
 		alg, r := algs[i/reps], i%reps
-		tp, j, ev := shiftRun(cfg, "fig9", cfg.Seed+int64(r), alg, horizon)
+		tp, j, ev := shiftRun(cfg, wd, "fig9", cfg.Seed+int64(r), alg, horizon)
 		return shiftOut{tput: tp, joules: j, events: ev}
 	})
 	for a, alg := range algs {

@@ -5,6 +5,7 @@ import (
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
 	"mptcpsim/internal/stats"
+	"mptcpsim/internal/supervise"
 	"mptcpsim/internal/topo"
 	"mptcpsim/internal/workload"
 )
@@ -18,8 +19,9 @@ import (
 // fig17Run executes one 200 s (scaled) run and returns goodput (b/s),
 // handset energy (J) and events processed. expID names the figure the run
 // record (if any) is filed under.
-func fig17Run(cfg Config, expID string, seed int64, alg string, horizon sim.Time, priceLTE bool) (tputBps, joules float64, events uint64) {
+func fig17Run(cfg Config, wd *supervise.Watchdog, expID string, seed int64, alg string, horizon sim.Time, priceLTE bool) (tputBps, joules float64, events uint64) {
 	eng := sim.NewEngine(seed)
+	wd.Attach(eng)
 	het := topo.NewHetWireless(eng, topo.HetWirelessConfig{})
 	if priceLTE {
 		// The compensative parameter prices the energy-expensive 4G hop:
@@ -80,9 +82,9 @@ func Fig17(cfg Config) *Result {
 		tput, joules float64
 		events       uint64
 	}
-	outs := runPar(cfg, len(algs)*reps, func(i int) wlOut {
+	outs := runPar(cfg, res, len(algs)*reps, func(i int, wd *supervise.Watchdog) wlOut {
 		alg, r := algs[i/reps], i%reps
-		tp, j, ev := fig17Run(cfg, "fig17", cfg.Seed+int64(r), alg, horizon, alg == "dtsep")
+		tp, j, ev := fig17Run(cfg, wd, "fig17", cfg.Seed+int64(r), alg, horizon, alg == "dtsep")
 		return wlOut{tput: tp, joules: j, events: ev}
 	})
 	for a, alg := range algs {

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mptcpsim/internal/supervise"
+)
+
+// buildWithInjectedFailure runs a 9-index pool with index 4 panicking,
+// under a supervisor, at the given worker count.
+func buildWithInjectedFailure(workers int) (*Result, *supervise.Supervisor) {
+	sup := supervise.New(supervise.Budget{})
+	cfg := Config{Seed: 1, Workers: workers, Sup: sup}.withDefaults()
+	res := &Result{ID: "inject-test"}
+	res.addRows(runPar(cfg, res, 9, func(i int, wd *supervise.Watchdog) runRow {
+		if i == 4 {
+			panic("injected failure at index 4")
+		}
+		return runRow{cells: []string{fmt.Sprintf("row%d", i)}, events: uint64(i + 1)}
+	}))
+	return res, sup
+}
+
+// TestRunParQuarantineDeterministicAcrossWorkers is the regression test the
+// MapErr migration demands: with an injected failing index, j=1 and j=8
+// must produce byte-identical tables, notes and event counts — the failing
+// row dropped, the other eight intact, the quarantine noted once.
+func TestRunParQuarantineDeterministicAcrossWorkers(t *testing.T) {
+	seq, seqSup := buildWithInjectedFailure(1)
+	par, parSup := buildWithInjectedFailure(8)
+
+	if len(seq.Rows) != 8 {
+		t.Fatalf("j=1 kept %d rows, want 8 (one quarantined)", len(seq.Rows))
+	}
+	if !reflect.DeepEqual(seq.Rows, par.Rows) {
+		t.Fatalf("rows differ across worker counts:\nj=1: %v\nj=8: %v", seq.Rows, par.Rows)
+	}
+	if !reflect.DeepEqual(seq.Notes, par.Notes) {
+		t.Fatalf("notes differ across worker counts:\nj=1: %v\nj=8: %v", seq.Notes, par.Notes)
+	}
+	if seq.Events != par.Events {
+		t.Fatalf("events differ: j=1 %d, j=8 %d", seq.Events, par.Events)
+	}
+	if len(seq.Notes) != 1 || !strings.Contains(seq.Notes[0], "inject-test[4]") {
+		t.Fatalf("notes = %v, want one note naming index 4", seq.Notes)
+	}
+	for _, sup := range []*supervise.Supervisor{seqSup, parSup} {
+		c := sup.Counts()
+		if c.OK != 8 || c.Quarantined != 1 {
+			t.Fatalf("supervisor counts = %v, want ok=8 quarantined=1", c)
+		}
+	}
+}
+
+// TestRunParFailFastWithoutSupervisor pins the legacy contract: with no
+// supervisor, the injected panic propagates to the caller in every mode.
+func TestRunParFailFastWithoutSupervisor(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				if r := recover(); r != "injected" {
+					t.Fatalf("workers=%d: recovered %v, want the injected panic", workers, r)
+				}
+			}()
+			cfg := Config{Seed: 1, Workers: workers}.withDefaults()
+			res := &Result{ID: "failfast-test"}
+			runPar(cfg, res, 6, func(i int, wd *supervise.Watchdog) int {
+				if i == 3 {
+					panic("injected")
+				}
+				return i
+			})
+			t.Fatalf("workers=%d: runPar returned despite panic", workers)
+		}()
+	}
+}
+
+// TestSupervisedFigureSurvivesBudgetTrip runs a real (tiny) figure under a
+// supervisor whose event budget no run can satisfy: every run must be
+// quarantined as over-budget, the figure must return a table instead of
+// panicking, and the notes must say what happened.
+func TestSupervisedFigureSurvivesBudgetTrip(t *testing.T) {
+	sup := supervise.New(supervise.Budget{Events: 50})
+	cfg := Config{Seed: 1, Scale: 0.02, Workers: 2, Sup: sup}
+	res := Fig1(cfg)
+	if len(res.Rows) != 0 {
+		t.Fatalf("all runs were over budget, but %d rows survived", len(res.Rows))
+	}
+	c := sup.Counts()
+	if c.OverBudget == 0 || c.OK != 0 {
+		t.Fatalf("counts = %v, want every run over-budget", c)
+	}
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "over-budget") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("notes carry no over-budget entry: %v", res.Notes)
+	}
+}

@@ -1,6 +1,11 @@
 package faults
 
-import "testing"
+import (
+	"errors"
+	"testing"
+
+	"mptcpsim/internal/sim"
+)
 
 // FuzzParse feeds arbitrary fault specs to the command-line parser. Parse
 // must never panic, and anything it accepts must be usable: at least one
@@ -49,6 +54,36 @@ func FuzzParseRate(f *testing.F) {
 		}
 		if r <= 0 {
 			t.Fatalf("ParseRate(%q) accepted non-positive rate %d", s, r)
+		}
+	})
+}
+
+// FuzzValidate drives the schedule validator with arbitrary specs against a
+// fixed two-path topology. Validate must never panic, and any error it
+// returns must be one of the named sentinels so callers can match it.
+func FuzzValidate(f *testing.F) {
+	for _, spec := range []string{
+		"wifi:down@2s,up@5s", // valid, in window
+		"dsl:down@2s",        // ErrUnknownTarget: no such name
+		"path7:down@2s",      // ErrUnknownTarget: index out of range
+		"wifi:down@12s",      // ErrPastHorizon: outage after horizon
+		"wifi:loss@10s=0.5",  // ErrPastHorizon: exactly at horizon
+		"lte:flap@11s+4s/1s", // ErrPastHorizon: flap starts late
+		"lte:delay@20s=50ms", // ErrPastHorizon: delay change after end
+		"0:rate@1s=2Mbps",    // valid, bare-index target
+	} {
+		f.Add(spec)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		pfs, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		eng := sim.NewEngine(1)
+		paths := namedPaths(eng, "wifi", "lte")
+		verr := Validate(pfs, paths, 10*sim.Second)
+		if verr != nil && !errors.Is(verr, ErrUnknownTarget) && !errors.Is(verr, ErrPastHorizon) {
+			t.Fatalf("Validate(%q) returned unnamed error %v", spec, verr)
 		}
 	})
 }

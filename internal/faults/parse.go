@@ -215,5 +215,5 @@ func Resolve(target string, paths []*netem.Path) (*netem.Path, error) {
 	for i, p := range paths {
 		names[i] = fmt.Sprintf("%s (path%d)", p.Name, i)
 	}
-	return nil, fmt.Errorf("faults: no path %q; have %s", target, strings.Join(names, ", "))
+	return nil, fmt.Errorf("%w: no path %q; have %s", ErrUnknownTarget, target, strings.Join(names, ", "))
 }

@@ -10,7 +10,9 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -84,3 +86,97 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 // panicValue wraps a recovered value so a nil panic payload still registers
 // in the atomic.Value.
 type panicValue struct{ v any }
+
+// PanicError is a panic recovered by MapErr, carrying the failing index,
+// the panic payload and the goroutine stack at the point of the panic.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: fn(%d) panicked: %v", e.Index, e.Value)
+}
+
+// MapErr is Map for runs that may fail individually: fn returns (result,
+// error), a panic in fn is captured as a *PanicError instead of re-raised,
+// and — unlike Map — the remaining indices still run after a failure. It
+// returns the results and errors both ordered by index (errs[i] is nil for
+// indices that succeeded, and errs is nil when every index did), so a
+// campaign degrades to partial results instead of losing the whole batch to
+// one bad run. Like Map, workers == 1 executes inline in index order and
+// is the reference for the determinism tests; panics are captured in every
+// mode so the two paths stay behaviour-identical.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	var (
+		errsMu sync.Mutex
+		errs   []error
+	)
+	setErr := func(i int, err error) {
+		errsMu.Lock()
+		if errs == nil {
+			errs = make([]error, n)
+		}
+		errs[i] = err
+		errsMu.Unlock()
+	}
+	one := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				setErr(i, &PanicError{Index: i, Value: r, Stack: debug.Stack()})
+			}
+		}()
+		v, err := fn(i)
+		out[i] = v
+		if err != nil {
+			setErr(i, err)
+		}
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			one(i)
+		}
+		return out, errs
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				one(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errs
+}
+
+// FirstErr returns the first non-nil error of a MapErr error slice, or nil.
+func FirstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

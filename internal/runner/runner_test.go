@@ -67,3 +67,101 @@ func TestMapRepanicsOnCaller(t *testing.T) {
 		}()
 	}
 }
+
+func TestMapErrCollectsPerIndexErrors(t *testing.T) {
+	sentinel := errors.New("bad index")
+	for _, workers := range []int{1, 4} {
+		out, errs := MapErr(workers, 10, func(i int) (int, error) {
+			if i%3 == 1 {
+				return 0, sentinel
+			}
+			return i * 2, nil
+		})
+		if errs == nil {
+			t.Fatalf("workers=%d: errs is nil despite failures", workers)
+		}
+		for i := 0; i < 10; i++ {
+			if i%3 == 1 {
+				if !errors.Is(errs[i], sentinel) {
+					t.Errorf("workers=%d: errs[%d] = %v, want sentinel", workers, i, errs[i])
+				}
+			} else {
+				if errs[i] != nil {
+					t.Errorf("workers=%d: errs[%d] = %v, want nil", workers, i, errs[i])
+				}
+				if out[i] != i*2 {
+					t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i*2)
+				}
+			}
+		}
+	}
+}
+
+func TestMapErrNilWhenClean(t *testing.T) {
+	_, errs := MapErr(4, 32, func(i int) (int, error) { return i, nil })
+	if errs != nil {
+		t.Errorf("errs = %v, want nil on a clean batch", errs)
+	}
+}
+
+func TestMapErrCapturesPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, errs := MapErr(workers, 8, func(i int) (int, error) {
+			if i == 3 {
+				panic("boom")
+			}
+			return i, nil
+		})
+		var pe *PanicError
+		if !errors.As(errs[3], &pe) {
+			t.Fatalf("workers=%d: errs[3] = %v, want *PanicError", workers, errs[3])
+		}
+		if pe.Index != 3 || pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: PanicError = {%d %v stack:%d}, want index 3, value boom, a stack",
+				workers, pe.Index, pe.Value, len(pe.Stack))
+		}
+		// Every other index still ran: failures must not abort the batch.
+		for i := 0; i < 8; i++ {
+			if i == 3 {
+				continue
+			}
+			if errs[i] != nil || out[i] != i {
+				t.Errorf("workers=%d: index %d = (%d, %v), want (%d, nil)", workers, i, out[i], errs[i], i)
+			}
+		}
+	}
+}
+
+func TestMapErrDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) ([]int, []error) {
+		return MapErr(workers, 64, func(i int) (int, error) {
+			if i == 17 {
+				panic(i)
+			}
+			if i%11 == 5 {
+				return 0, errors.New("e")
+			}
+			return i * i, nil
+		})
+	}
+	out1, errs1 := run(1)
+	out8, errs8 := run(8)
+	for i := range out1 {
+		if out1[i] != out8[i] {
+			t.Errorf("out[%d]: j=1 %d vs j=8 %d", i, out1[i], out8[i])
+		}
+		if (errs1[i] == nil) != (errs8[i] == nil) {
+			t.Errorf("errs[%d]: j=1 %v vs j=8 %v", i, errs1[i], errs8[i])
+		}
+	}
+}
+
+func TestFirstErr(t *testing.T) {
+	if err := FirstErr(nil); err != nil {
+		t.Errorf("FirstErr(nil) = %v", err)
+	}
+	sentinel := errors.New("x")
+	if err := FirstErr([]error{nil, sentinel, errors.New("y")}); err != sentinel {
+		t.Errorf("FirstErr = %v, want the first non-nil error", err)
+	}
+}

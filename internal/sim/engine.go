@@ -91,6 +91,9 @@ type Engine struct {
 
 	processed uint64
 	stopped   bool
+
+	maxProcessed uint64 // 0 = unlimited
+	onBudget     func()
 }
 
 // NewEngine returns an engine whose random source is seeded with seed.
@@ -154,6 +157,20 @@ func (e *Engine) push(t Time, fn func()) *event {
 // Stop makes Run return after the event currently executing completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// SetEventBudget arms a hard cap on processed events: once n events have
+// run, the loop calls trip before firing event n+1 instead of processing it.
+// Unlike a watchdog scheduled in simulated time, the in-loop check also
+// catches event storms that never advance the clock (events rescheduling
+// themselves at the same instant would starve any sim-time watchdog).
+// trip may panic to abort the run (internal/supervise does), or merely
+// record the fact — if it returns, the loop stops as if Stop were called.
+// n = 0 removes the budget. The budget counts lifetime processed events,
+// not events since SetEventBudget.
+func (e *Engine) SetEventBudget(n uint64, trip func()) {
+	e.maxProcessed = n
+	e.onBudget = trip
+}
+
 // Run executes events in timestamp order until the queue empties or the
 // clock would pass until. It returns the time at which it stopped: until if
 // the horizon was reached, otherwise the time of the last event.
@@ -180,6 +197,13 @@ func (e *Engine) loop(until Time, bounded bool) {
 		next := e.events[0]
 		if bounded && next.at > until {
 			e.now = until
+			return
+		}
+		if e.maxProcessed != 0 && e.processed >= e.maxProcessed {
+			if e.onBudget != nil {
+				e.onBudget()
+			}
+			e.stopped = true
 			return
 		}
 		e.popTop()

@@ -1,0 +1,379 @@
+// Package supervise keeps long simulation campaigns alive when individual
+// runs misbehave. Every run executes under a Budget — a wall-clock
+// deadline, an engine event cap and a simulated-time cap — enforced by a
+// Watchdog attached to the run's engine. A panic or invariant trip inside
+// the worker is caught and converted into a structured RunError (seed,
+// scenario, phase, stack, last observation) and the run is quarantined
+// instead of re-raised, so a campaign degrades gracefully to partial
+// results. Transient failures are retried with capped exponential backoff
+// and seed-derived jitter; every outcome (ok, retried, quarantined,
+// timed-out, over-budget) is counted for the campaign summary.
+//
+// The package is deliberately engine-agnostic on the happy path: the
+// supervisor never touches a run's engine itself, it only recovers what
+// escapes the run closure and interrogates the Watchdog the closure
+// attached. Determinism is preserved — supervision adds no randomness to
+// the run (jitter only delays retries on the wall clock) and a given seed
+// fails, retries or passes identically regardless of worker count.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies why a run failed.
+type Kind string
+
+const (
+	// KindPanic is an uncontrolled panic out of the run closure.
+	KindPanic Kind = "panic"
+	// KindInvariant is an internal/check invariant violation (either the
+	// FailFast panic or a collected checker error).
+	KindInvariant Kind = "invariant"
+	// KindTimeout is a wall-clock deadline trip.
+	KindTimeout Kind = "timeout"
+	// KindBudget is an engine event-budget or simulated-time-budget trip.
+	KindBudget Kind = "budget"
+	// KindError is a plain error returned by the run closure.
+	KindError Kind = "error"
+)
+
+// Outcome is the terminal classification of one supervised run.
+type Outcome int
+
+const (
+	// OK: the run succeeded on its first attempt.
+	OK Outcome = iota
+	// Retried: the run succeeded after at least one transient failure.
+	Retried
+	// Quarantined: the run failed permanently (panic, invariant trip, or
+	// retry exhaustion) and was recorded instead of re-raised.
+	Quarantined
+	// TimedOut: the wall-clock deadline fired; not retried (a hang will
+	// hang again, and retrying hangs multiplies the campaign's wall time).
+	TimedOut
+	// OverBudget: the event or simulated-time budget fired; not retried
+	// (budgets are deterministic under a fixed seed).
+	OverBudget
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Retried:
+		return "retried"
+	case Quarantined:
+		return "quarantined"
+	case TimedOut:
+		return "timed-out"
+	case OverBudget:
+		return "over-budget"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Failed reports whether the outcome denotes a failed run.
+func (o Outcome) Failed() bool { return o != OK && o != Retried }
+
+// RunID names one run for reporting: the seed that reproduces it, the
+// scenario it executed and the campaign phase (figure ID, "chaos", …) it
+// belongs to.
+type RunID struct {
+	Seed     int64  `json:"seed"`
+	Scenario string `json:"scenario"`
+	Phase    string `json:"phase"`
+}
+
+func (id RunID) String() string {
+	return fmt.Sprintf("%s/%s seed=%d", id.Phase, id.Scenario, id.Seed)
+}
+
+// RunError is the structured record of a failed run: everything the
+// quarantine corpus needs to triage and replay it. It is JSON-serializable
+// so chaos artifacts can embed it verbatim.
+type RunError struct {
+	ID       RunID  `json:"id"`
+	Kind     Kind   `json:"kind"`
+	Msg      string `json:"msg"`
+	Stack    string `json:"stack,omitempty"`
+	Attempts int    `json:"attempts"`
+	// LastObsv is the final observation before the failure: the engine
+	// clock and event count the watchdog saw, plus the run's own sample
+	// when it registered one (see Watchdog.SetSample).
+	LastObsv string `json:"last_obsv,omitempty"`
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("%s: %s: %s", e.ID, e.Kind, e.Msg)
+}
+
+// Report is the terminal result of one supervised run.
+type Report struct {
+	Outcome  Outcome
+	Attempts int       // total attempts, >= 1
+	Err      *RunError // nil for OK and Retried
+}
+
+// transientError marks an error as worth retrying.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string { return t.err.Error() }
+func (t *transientError) Unwrap() error { return t.err }
+
+// Transient marks err as transient: the supervisor retries it (with capped
+// exponential backoff) instead of quarantining immediately. Use it for
+// failures outside the deterministic simulation — file systems, external
+// processes — never for invariant trips, which reproduce under the same
+// seed and would only burn the retry budget.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked with
+// Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Counts aggregates run outcomes across a campaign.
+type Counts struct {
+	OK          int64 `json:"ok"`
+	Retried     int64 `json:"retried"`
+	Quarantined int64 `json:"quarantined"`
+	TimedOut    int64 `json:"timed_out"`
+	OverBudget  int64 `json:"over_budget"`
+}
+
+// Total is the number of supervised runs.
+func (c Counts) Total() int64 {
+	return c.OK + c.Retried + c.Quarantined + c.TimedOut + c.OverBudget
+}
+
+// Failed is the number of runs that did not end in success.
+func (c Counts) Failed() int64 { return c.Quarantined + c.TimedOut + c.OverBudget }
+
+func (c Counts) String() string {
+	return fmt.Sprintf("ok=%d retried=%d quarantined=%d timed-out=%d over-budget=%d",
+		c.OK, c.Retried, c.Quarantined, c.TimedOut, c.OverBudget)
+}
+
+// maxFailures bounds the retained RunError list; the counters keep rising
+// past it.
+const maxFailures = 64
+
+// Supervisor runs closures under a shared Budget and retry policy and
+// aggregates their outcomes. It is safe for concurrent use — one supervisor
+// typically spans a whole campaign's worker pool.
+type Supervisor struct {
+	// Budget applies to every supervised run. The zero Budget enforces
+	// nothing and the supervisor only provides panic quarantine.
+	Budget Budget
+	// Retries is how many times a transient failure is re-attempted before
+	// quarantine (0 = never retry).
+	Retries int
+	// Backoff is the base delay before the first retry; each further retry
+	// doubles it, capped at MaxBackoff. Defaults: 100ms base, 5s cap.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+
+	// sleep and now are test seams.
+	sleep func(time.Duration)
+	now   func() time.Time
+
+	ok, retried, quarantined, timedOut, overBudget atomic.Int64
+
+	mu       sync.Mutex
+	failures []RunError
+	dropped  int
+}
+
+// New returns a supervisor with the given budget and no retries.
+func New(b Budget) *Supervisor {
+	return &Supervisor{Budget: b}
+}
+
+func (s *Supervisor) sleepFn() func(time.Duration) {
+	if s.sleep != nil {
+		return s.sleep
+	}
+	return time.Sleep
+}
+
+func (s *Supervisor) nowFn() func() time.Time {
+	if s.now != nil {
+		return s.now
+	}
+	return time.Now
+}
+
+// backoffDelay computes the capped exponential backoff before retry
+// attempt (1-based), with deterministic seed-derived jitter in
+// [0, delay/2) so a batch of retrying runs does not thunder in lockstep.
+func (s *Supervisor) backoffDelay(seed int64, attempt int) time.Duration {
+	base := s.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := s.MaxBackoff
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d > cap || d <= 0 { // d <= 0 guards shift overflow
+		d = cap
+	}
+	rng := rand.New(rand.NewSource(seed + int64(attempt)*0x9E3779B9))
+	return d + time.Duration(rng.Int63n(int64(d)/2+1))
+}
+
+// Run executes fn under the supervisor's budget and retry policy. fn
+// receives a Watchdog it must Attach to the run's engine for deadline and
+// budget enforcement (a nil-safe no-op when the caller has no engine).
+// Every failure mode — a returned error, a panic, a watchdog trip — ends in
+// a Report instead of propagating, so callers on a worker pool can always
+// collect partial results.
+func (s *Supervisor) Run(id RunID, fn func(wd *Watchdog) error) Report {
+	for attempt := 1; ; attempt++ {
+		wd := &Watchdog{id: id, budget: s.Budget, now: s.nowFn()}
+		err := runAttempt(wd, fn)
+		if err == nil {
+			if attempt > 1 {
+				s.retried.Add(1)
+				return Report{Outcome: Retried, Attempts: attempt}
+			}
+			s.ok.Add(1)
+			return Report{Outcome: OK, Attempts: attempt}
+		}
+		re := s.classify(id, wd, err, attempt)
+		switch re.Kind {
+		case KindTimeout:
+			s.timedOut.Add(1)
+			s.record(*re)
+			return Report{Outcome: TimedOut, Attempts: attempt, Err: re}
+		case KindBudget:
+			s.overBudget.Add(1)
+			s.record(*re)
+			return Report{Outcome: OverBudget, Attempts: attempt, Err: re}
+		}
+		if IsTransient(err) && attempt <= s.Retries {
+			s.sleepFn()(s.backoffDelay(id.Seed, attempt))
+			continue
+		}
+		s.quarantined.Add(1)
+		s.record(*re)
+		return Report{Outcome: Quarantined, Attempts: attempt, Err: re}
+	}
+}
+
+// runAttempt executes fn once, converting panics (including watchdog
+// trips, which travel as panics out of the engine loop) into errors.
+func runAttempt(wd *Watchdog, fn func(*Watchdog) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if t, ok := r.(*Trip); ok {
+				err = t
+				return
+			}
+			err = &panicked{value: r, stack: debug.Stack()}
+		}
+	}()
+	return fn(wd)
+}
+
+// panicked carries a recovered panic payload and stack as an error.
+type panicked struct {
+	value any
+	stack []byte
+}
+
+func (p *panicked) Error() string { return fmt.Sprintf("panic: %v", p.value) }
+
+// classify builds the structured RunError for a failed attempt.
+func (s *Supervisor) classify(id RunID, wd *Watchdog, err error, attempt int) *RunError {
+	re := &RunError{ID: id, Attempts: attempt, LastObsv: wd.lastObsv()}
+	var t *Trip
+	var p *panicked
+	switch {
+	case errors.As(err, &t):
+		re.Kind = t.Kind
+		re.Msg = t.Msg
+	case errors.As(err, &p):
+		re.Kind = KindPanic
+		re.Msg = fmt.Sprint(p.value)
+		re.Stack = string(p.stack)
+		if isInvariantMsg(re.Msg) {
+			re.Kind = KindInvariant
+		}
+	default:
+		re.Kind = KindError
+		re.Msg = err.Error()
+		if isInvariantMsg(re.Msg) {
+			re.Kind = KindInvariant
+		}
+	}
+	return re
+}
+
+// isInvariantMsg recognizes internal/check failures in both shapes: the
+// FailFast panic ("check: invariant violated: …") and the collected error
+// ("check: N invariant violation(s); …").
+func isInvariantMsg(msg string) bool {
+	return strings.Contains(msg, "invariant violat")
+}
+
+func (s *Supervisor) record(re RunError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.failures) < maxFailures {
+		s.failures = append(s.failures, re)
+	} else {
+		s.dropped++
+	}
+}
+
+// Counts snapshots the outcome counters.
+func (s *Supervisor) Counts() Counts {
+	return Counts{
+		OK:          s.ok.Load(),
+		Retried:     s.retried.Load(),
+		Quarantined: s.quarantined.Load(),
+		TimedOut:    s.timedOut.Load(),
+		OverBudget:  s.overBudget.Load(),
+	}
+}
+
+// Failures returns the retained RunErrors (bounded; the counters are not).
+func (s *Supervisor) Failures() []RunError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunError, len(s.failures))
+	copy(out, s.failures)
+	return out
+}
+
+// ExitCodeError carries a specific process exit code through an error
+// return, so a CLI can distinguish "campaign completed with quarantined
+// runs" (partial results, exit 3) from hard usage errors (exit 1).
+type ExitCodeError struct {
+	Code int
+	Msg  string
+}
+
+func (e *ExitCodeError) Error() string { return e.Msg }
+
+// ExitQuarantined is the conventional exit code for "the campaign finished
+// but quarantined at least one run".
+const ExitQuarantined = 3

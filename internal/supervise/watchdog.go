@@ -1,0 +1,122 @@
+package supervise
+
+import (
+	"fmt"
+	"time"
+
+	"mptcpsim/internal/sim"
+)
+
+// Budget bounds one supervised run. Zero fields enforce nothing.
+type Budget struct {
+	// Wall is the wall-clock deadline for a single attempt, checked by a
+	// periodic watchdog event inside the engine loop. Wall timeouts are the
+	// only nondeterministic trip — identical seeds can time out on a loaded
+	// machine and pass on an idle one — so campaigns that need determinism
+	// across worker counts should bound runs primarily with Events and keep
+	// Wall as a generous backstop against true hangs.
+	Wall time.Duration
+	// Events caps processed engine events (deterministic; also catches
+	// same-instant event storms that never advance the clock).
+	Events uint64
+	// SimTime caps the simulated clock, independent of the run's own
+	// horizon (deterministic).
+	SimTime sim.Time
+	// CheckEvery is the simulated cadence of the wall-clock check event.
+	// Defaults to 10ms of simulated time.
+	CheckEvery sim.Time
+}
+
+// Trip is the panic payload a watchdog throws through the engine loop when
+// a budget is exhausted. It implements error so the supervisor's recover
+// can classify it without string matching.
+type Trip struct {
+	Kind Kind
+	Msg  string
+}
+
+func (t *Trip) Error() string { return fmt.Sprintf("%s: %s", t.Kind, t.Msg) }
+
+// Watchdog enforces a Budget on one attempt of one run. The supervisor
+// hands a fresh Watchdog to each attempt; the run closure must Attach it to
+// the engine it builds (Attach is a nil-safe no-op, so the same closure
+// works unsupervised). A tripped watchdog panics a *Trip out of eng.Run —
+// the supervisor's recover converts it into a timed-out or over-budget
+// Report, which is what lets the budget abort a run from inside the engine
+// without any per-closure error plumbing.
+type Watchdog struct {
+	id       RunID
+	budget   Budget
+	now      func() time.Time
+	deadline time.Time
+	eng      *sim.Engine
+	sample   func() string
+}
+
+// Attach arms the watchdog on eng: a periodic event checks the wall-clock
+// deadline, the engine's event budget enforces the event cap, and a
+// one-shot event enforces the simulated-time cap. Calling Attach on a nil
+// watchdog or with a zero budget is a no-op. The watchdog's own periodic
+// check events count toward the event budget; size Events accordingly
+// (the default cadence adds ~100 events per simulated second).
+func (w *Watchdog) Attach(eng *sim.Engine) {
+	if w == nil || eng == nil {
+		return
+	}
+	w.eng = eng
+	if w.budget.Wall > 0 {
+		if w.now == nil {
+			w.now = time.Now
+		}
+		if w.deadline.IsZero() {
+			w.deadline = w.now().Add(w.budget.Wall)
+		}
+		every := w.budget.CheckEvery
+		if every <= 0 {
+			every = 10 * sim.Millisecond
+		}
+		var tick func()
+		tick = func() {
+			if w.now().After(w.deadline) {
+				panic(&Trip{Kind: KindTimeout, Msg: fmt.Sprintf(
+					"wall-clock deadline %v exceeded at %s", w.budget.Wall, w.lastObsv())})
+			}
+			eng.ScheduleAfter(every, tick)
+		}
+		eng.ScheduleAfter(every, tick)
+	}
+	if w.budget.Events > 0 {
+		eng.SetEventBudget(w.budget.Events, func() {
+			panic(&Trip{Kind: KindBudget, Msg: fmt.Sprintf(
+				"event budget %d exhausted at %s", w.budget.Events, w.lastObsv())})
+		})
+	}
+	if w.budget.SimTime > 0 {
+		eng.At(w.budget.SimTime, func() {
+			panic(&Trip{Kind: KindBudget, Msg: fmt.Sprintf(
+				"sim-time budget %.3fs exhausted at %s", w.budget.SimTime.Seconds(), w.lastObsv())})
+		})
+	}
+}
+
+// SetSample registers a hook returning a one-line snapshot of run state
+// (e.g. per-subflow cwnd) to enrich RunError.LastObsv on failure.
+func (w *Watchdog) SetSample(fn func() string) {
+	if w == nil {
+		return
+	}
+	w.sample = fn
+}
+
+// lastObsv renders the final observation for a RunError: engine clock and
+// event count, plus the run's registered sample if any.
+func (w *Watchdog) lastObsv() string {
+	if w == nil || w.eng == nil {
+		return ""
+	}
+	s := fmt.Sprintf("t=%.3fs events=%d", w.eng.Now().Seconds(), w.eng.Processed())
+	if w.sample != nil {
+		s += " " + w.sample()
+	}
+	return s
+}

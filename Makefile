@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine experiments full validate soak clean
+.PHONY: all build vet test race bench bench-engine experiments full validate soak campaign resume-smoke clean
 
 all: build vet test race
 
@@ -45,6 +45,21 @@ validate:
 soak:
 	$(GO) run ./cmd/mptcp-sim -soak 60 -seed 1 -soak-dir quarantine
 
+# Checkpointed, resumable campaign of every figure across three seeds
+# (EXPERIMENTS.md, "Resumable campaigns"). Kill it at any point — Ctrl-C,
+# OOM, CI timeout — and continue with:
+#   go run ./cmd/mptcp-bench -resume campaign_out
+campaign:
+	$(GO) run ./cmd/mptcp-bench -campaign campaign_out -scale 0.15 -seeds 1,2,3
+
+# Kill/resume determinism through the real binary and the real signal path:
+# SIGINT a campaign mid-flight, resume it, byte-diff the merged outputs
+# against an uninterrupted run (scripts/resume_smoke.sh).
+resume-smoke:
+	$(GO) build -o mptcp-bench ./cmd/mptcp-bench
+	./scripts/resume_smoke.sh ./mptcp-bench
+	rm -f mptcp-bench
+
 clean:
-	rm -f test_output.txt bench_output.txt experiments_output.md
-	rm -rf quarantine
+	rm -f test_output.txt bench_output.txt experiments_output.md mptcp-bench
+	rm -rf quarantine campaign_out

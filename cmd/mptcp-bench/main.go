@@ -4,6 +4,8 @@
 // Usage:
 //
 //	mptcp-bench [-exp figN[,figM...]] [-scale 0.3] [-seed 1] [-reps 0] [-full] [-j 8]
+//	mptcp-bench -campaign DIR [-exp ...] [-seeds 1,2,3] [-scale ...] [-records] [-shard i/n]
+//	mptcp-bench -resume DIR [-j 8] [-shard i/n]
 //
 // -full sets scale to 1.0 (the published parameters); the default scale
 // keeps the whole suite fast enough for a laptop. -j controls how many
@@ -14,11 +16,25 @@
 // internal/obsv and EXPERIMENTS.md) per simulation run; -sample-interval
 // sets the record's sampling period in simulated time.
 //
+// -campaign expands the selected experiments × -seeds into a checkpointed
+// campaign under DIR (see internal/campaign and EXPERIMENTS.md, "Resumable
+// campaigns"): every completed unit is journaled, so a killed invocation
+// continues with -resume DIR, re-running only unfinished units, and the
+// merged results.txt / campaign.json are byte-identical to an uninterrupted
+// run. -shard i/n restricts one process to its slice of the campaign so n
+// processes (or CI jobs) can split the manifest; -records exports obsv run
+// records under each unit directory.
+//
 // Every simulation run executes under a run supervisor (internal/supervise):
 // a panicking or invariant-violating run is quarantined — its rows dropped,
 // its identity noted on the table and in the -json report — instead of
 // aborting the suite, and the whole invocation exits 3 when anything was
 // quarantined. -timeout bounds each run's wall clock (0 = none).
+//
+// SIGINT/SIGTERM stop the invocation gracefully: in-flight simulation runs
+// drain, writers and the campaign journal flush, and the process exits 4
+// (supervise.ExitInterrupted) — in campaign mode the directory resumes
+// exactly where it left off. A second signal kills immediately.
 //
 // -check runs the internal/check invariant checker on every simulation run
 // (violations quarantine the failing run). -validate
@@ -29,16 +45,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"mptcpsim/internal/campaign"
 	"mptcpsim/internal/check"
 	"mptcpsim/internal/exp"
 	"mptcpsim/internal/runner"
@@ -57,12 +79,43 @@ func main() {
 	}
 }
 
-// benchRecord is one experiment's row in the -json report.
-type benchRecord struct {
+// signalContext cancels on the first SIGINT/SIGTERM so in-flight work
+// drains; the AfterFunc restores default signal dispositions the moment the
+// context dies, so a second signal kills the process immediately instead of
+// waiting out the drain.
+func signalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	context.AfterFunc(ctx, func() { stop() })
+	return ctx, stop
+}
+
+// benchTiming is one experiment's wall-clock row — volatile by nature, so
+// it lives in the report's meta section.
+type benchTiming struct {
 	Experiment   string  `json:"experiment"`
 	WallSeconds  float64 `json:"wall_seconds"`
-	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchMeta is the volatile half of the -json report: clocks, versions and
+// machine facts that legitimately differ between two otherwise identical
+// invocations. Diff tooling ignores this section.
+type benchMeta struct {
+	Timestamp    string        `json:"timestamp"`
+	GoVersion    string        `json:"go_version"`
+	GOMAXPROCS   int           `json:"gomaxprocs"`
+	Workers      int           `json:"workers"`
+	TotalWallSec float64       `json:"total_wall_seconds"`
+	Timings      []benchTiming `json:"timings"`
+	// Interrupted: the suite was stopped by SIGINT/SIGTERM before finishing;
+	// the payload covers only the experiments that completed.
+	Interrupted bool `json:"interrupted,omitempty"`
+}
+
+// benchRecord is one experiment's row in the deterministic payload.
+type benchRecord struct {
+	Experiment string `json:"experiment"`
+	Events     uint64 `json:"events"`
 }
 
 // benchOutcomes mirrors supervise.Counts into the -json report.
@@ -74,44 +127,53 @@ type benchOutcomes struct {
 	OverBudget  int64 `json:"over_budget"`
 }
 
-// benchReport is the whole -json document, with enough metadata to compare
-// reports across machines and commits.
-type benchReport struct {
-	Timestamp    string        `json:"timestamp"`
-	GoVersion    string        `json:"go_version"`
-	GOMAXPROCS   int           `json:"gomaxprocs"`
-	Workers      int           `json:"workers"`
-	Scale        float64       `json:"scale"`
-	Seed         int64         `json:"seed"`
-	Reps         int           `json:"reps"`
-	Experiments  []benchRecord `json:"experiments"`
-	TotalWallSec float64       `json:"total_wall_seconds"`
-	TotalEvents  uint64        `json:"total_events"`
+// benchPayload is the deterministic half of the -json report: everything in
+// it derives from (scale, seed, reps, experiment set) alone, so two runs of
+// the same commit with the same flags produce byte-identical payloads at
+// any -j — `jq .payload` diffs cleanly across machines.
+type benchPayload struct {
+	Scale       float64       `json:"scale"`
+	Seed        int64         `json:"seed"`
+	Reps        int           `json:"reps"`
+	Experiments []benchRecord `json:"experiments"`
+	TotalEvents uint64        `json:"total_events"`
 	// Outcomes counts every supervised simulation run across the suite;
 	// Quarantined lists each failed run's identity and error.
 	Outcomes    benchOutcomes `json:"outcomes"`
 	Quarantined []string      `json:"quarantined,omitempty"`
 }
 
+// benchReport is the whole -json document, split so the volatile and
+// deterministic parts diff independently.
+type benchReport struct {
+	Meta    benchMeta    `json:"meta"`
+	Payload benchPayload `json:"payload"`
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("mptcp-bench", flag.ContinueOnError)
 	var (
-		expFlag    = fs.String("exp", "all", "comma-separated experiment IDs (see -list) or 'all'")
-		scale      = fs.Float64("scale", 0.25, "scale factor in (0,1]: users, sizes and horizons")
-		seed       = fs.Int64("seed", 1, "random seed")
-		reps       = fs.Int("reps", 0, "override repetition count (0 = scaled default)")
-		full       = fs.Bool("full", false, "run at the published scale (same as -scale 1)")
-		list       = fs.Bool("list", false, "list experiment IDs and exit")
-		markdown   = fs.Bool("markdown", false, "wrap each table in a fenced block for EXPERIMENTS.md")
-		workers    = fs.Int("j", runner.DefaultWorkers(), "concurrent simulation runs (results are identical for any value)")
-		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
-		jsonOut    = fs.Bool("json", false, "write per-experiment timing and event counts to BENCH_<timestamp>.json")
-		outDir     = fs.String("out", "", "write one JSONL+CSV run record per (algorithm, scenario, seed) to this directory")
-		sampleInt  = fs.Duration("sample-interval", 0, "run-record sampling period in simulated time (0 = 100ms)")
-		checkInv   = fs.Bool("check", false, "run the invariant checker on every simulation run (violations quarantine the run)")
-		validate   = fs.Bool("validate", false, "run the fluid-vs-packet conformance suite instead of experiments")
-		timeout    = fs.Duration("timeout", 0, "per-run wall-clock deadline enforced by the run supervisor (0 = none)")
+		expFlag     = fs.String("exp", "all", "comma-separated experiment IDs (see -list) or 'all'")
+		scale       = fs.Float64("scale", 0.25, "scale factor in (0,1]: users, sizes and horizons")
+		seed        = fs.Int64("seed", 1, "random seed")
+		reps        = fs.Int("reps", 0, "override repetition count (0 = scaled default)")
+		full        = fs.Bool("full", false, "run at the published scale (same as -scale 1)")
+		list        = fs.Bool("list", false, "list experiment IDs and exit")
+		markdown    = fs.Bool("markdown", false, "wrap each table in a fenced block for EXPERIMENTS.md")
+		workers     = fs.Int("j", runner.DefaultWorkers(), "concurrent simulation runs (results are identical for any value)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile  = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		jsonOut     = fs.Bool("json", false, "write per-experiment timing and event counts to BENCH_<timestamp>.json")
+		outDir      = fs.String("out", "", "write one JSONL+CSV run record per (algorithm, scenario, seed) to this directory")
+		sampleInt   = fs.Duration("sample-interval", 0, "run-record sampling period in simulated time (0 = 100ms)")
+		checkInv    = fs.Bool("check", false, "run the invariant checker on every simulation run (violations quarantine the run)")
+		validate    = fs.Bool("validate", false, "run the fluid-vs-packet conformance suite instead of experiments")
+		timeout     = fs.Duration("timeout", 0, "per-run wall-clock deadline enforced by the run supervisor (0 = none)")
+		campaignDir = fs.String("campaign", "", "start (or continue) a checkpointed campaign in this directory")
+		resumeDir   = fs.String("resume", "", "resume an interrupted campaign from this directory (spec comes from its manifest)")
+		seedsFlag   = fs.String("seeds", "", "campaign seed list, comma-separated (campaign mode only; default: -seed)")
+		shardFlag   = fs.String("shard", "", "run only this slice of the campaign, as i/n (campaign mode only)")
+		records     = fs.Bool("records", false, "export obsv run records under each campaign unit directory (campaign mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -136,11 +198,54 @@ func run(args []string) error {
 	if *full {
 		*scale = 1
 	}
+
+	ctx, stop := signalContext()
+	defer stop()
+
+	if *campaignDir != "" || *resumeDir != "" {
+		if *campaignDir != "" && *resumeDir != "" {
+			return fmt.Errorf("-campaign and -resume are mutually exclusive")
+		}
+		shard, err := parseShard(*shardFlag)
+		if err != nil {
+			return err
+		}
+		seeds, err := parseSeeds(*seedsFlag)
+		if err != nil {
+			return err
+		}
+		if seeds == nil {
+			seeds = []int64{*seed}
+		}
+		experiments := exp.IDs()
+		if *expFlag != "all" {
+			experiments = nil
+			for _, id := range strings.Split(*expFlag, ",") {
+				experiments = append(experiments, strings.TrimSpace(id))
+			}
+		}
+		spec := campaign.Spec{
+			Experiments: experiments, Seeds: seeds, Scale: *scale, Reps: *reps,
+			Records: *records, Check: *checkInv,
+		}
+		opt := campaign.Options{
+			Workers: *workers, Shard: shard, Timeout: *timeout,
+			SyncEvery: campaign.DefaultSyncEvery, SampleInterval: sim.Time(*sampleInt),
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "campaign: "+format+"\n", args...)
+			},
+		}
+		return runCampaign(ctx, *campaignDir, *resumeDir, spec, opt)
+	}
+	if *seedsFlag != "" || *shardFlag != "" || *records {
+		return fmt.Errorf("-seeds, -shard and -records require -campaign or -resume")
+	}
+
 	sup := supervise.New(supervise.Budget{Wall: *timeout})
 	cfg := exp.Config{
 		Seed: *seed, Scale: *scale, Reps: *reps, Workers: *workers,
 		OutDir: *outDir, SampleInterval: sim.Time(*sampleInt), Check: *checkInv,
-		Sup: sup,
+		Sup: sup, Ctx: ctx,
 	}
 
 	if *cpuprofile != "" {
@@ -169,40 +274,54 @@ func run(args []string) error {
 	}
 
 	report := benchReport{
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    *workers,
-		Scale:      *scale,
-		Seed:       *seed,
-		Reps:       *reps,
+		Meta: benchMeta{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Workers:    *workers,
+		},
+		Payload: benchPayload{Scale: *scale, Seed: *seed, Reps: *reps},
 	}
+	interrupted := false
 	suiteStart := time.Now()
 	for _, e := range selected {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		start := time.Now()
 		res := e.Run(cfg)
 		wall := time.Since(start).Seconds()
+		if res.Interrupted {
+			// A partial figure is not a result: note the interruption and
+			// keep it out of the payload entirely.
+			interrupted = true
+			fmt.Fprintf(os.Stderr, "interrupted during %s; its rows are discarded\n", e.ID)
+			break
+		}
 		if *markdown {
 			fmt.Printf("### %s — %s\n\n```\n%s```\n\n", res.ID, e.Title, res)
 		} else {
 			fmt.Println(res)
 			fmt.Printf("(%s took %.1fs)\n\n", e.ID, wall)
 		}
-		rec := benchRecord{Experiment: e.ID, WallSeconds: wall, Events: res.Events}
+		t := benchTiming{Experiment: e.ID, WallSeconds: wall}
 		if wall > 0 {
-			rec.EventsPerSec = float64(res.Events) / wall
+			t.EventsPerSec = float64(res.Events) / wall
 		}
-		report.Experiments = append(report.Experiments, rec)
-		report.TotalEvents += res.Events
+		report.Meta.Timings = append(report.Meta.Timings, t)
+		report.Payload.Experiments = append(report.Payload.Experiments, benchRecord{Experiment: e.ID, Events: res.Events})
+		report.Payload.TotalEvents += res.Events
 	}
-	report.TotalWallSec = time.Since(suiteStart).Seconds()
+	report.Meta.TotalWallSec = time.Since(suiteStart).Seconds()
+	report.Meta.Interrupted = interrupted
 	counts := sup.Counts()
-	report.Outcomes = benchOutcomes{
+	report.Payload.Outcomes = benchOutcomes{
 		OK: counts.OK, Retried: counts.Retried, Quarantined: counts.Quarantined,
 		TimedOut: counts.TimedOut, OverBudget: counts.OverBudget,
 	}
 	for _, f := range sup.Failures() {
-		report.Quarantined = append(report.Quarantined, fmt.Sprintf("%s: %s: %s", f.ID, f.Kind, f.Msg))
+		report.Payload.Quarantined = append(report.Payload.Quarantined, fmt.Sprintf("%s: %s: %s", f.ID, f.Kind, f.Msg))
 	}
 	fmt.Printf("outcomes: %s\n", counts)
 
@@ -228,7 +347,15 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d experiments, %.1fs, %d events)\n",
-			name, len(report.Experiments), report.TotalWallSec, report.TotalEvents)
+			name, len(report.Payload.Experiments), report.Meta.TotalWallSec, report.Payload.TotalEvents)
+	}
+	if interrupted {
+		// Exit 4: stopped by signal after a clean drain — the printed tables
+		// and any written report cover only completed experiments.
+		return &supervise.ExitCodeError{
+			Code: supervise.ExitInterrupted,
+			Msg:  "interrupted by signal; completed experiments were flushed",
+		}
 	}
 	if counts.Failed() > 0 {
 		// Exit 3: the tables above are valid partial results, but at least
@@ -239,4 +366,80 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runCampaign drives a checkpointed campaign (start or resume) and maps its
+// summary onto the CLI exit-code contract: 4 when interrupted (resumable),
+// 3 when finished with quarantined units, 0 when clean.
+func runCampaign(ctx context.Context, startDir, resumeDir string, spec campaign.Spec, opt campaign.Options) error {
+	var (
+		sum *campaign.Summary
+		dir string
+		err error
+	)
+	if startDir != "" {
+		dir = startDir
+		sum, err = campaign.Start(ctx, dir, spec, opt)
+	} else {
+		dir = resumeDir
+		sum, err = campaign.Resume(ctx, dir, opt)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d units (%d reused, %d ran, %d quarantined, %d pending); supervised runs: %s\n",
+		sum.Total, sum.Reused, sum.Ran, sum.Quarantined, sum.Pending, sum.Counts)
+	if sum.Merged {
+		results, rerr := os.ReadFile(filepath.Join(dir, "results.txt"))
+		if rerr != nil {
+			return rerr
+		}
+		os.Stdout.Write(results)
+		fmt.Fprintf(os.Stderr, "campaign: merged %s and %s\n",
+			filepath.Join(dir, "results.txt"), filepath.Join(dir, "campaign.json"))
+	}
+	if sum.Interrupted {
+		return &supervise.ExitCodeError{
+			Code: supervise.ExitInterrupted,
+			Msg:  fmt.Sprintf("interrupted; continue with -resume %s", dir),
+		}
+	}
+	if !sum.Merged {
+		fmt.Fprintln(os.Stderr, "campaign: other shards still pending; the last shard to finish merges")
+	}
+	if sum.Quarantined > 0 {
+		return &supervise.ExitCodeError{
+			Code: supervise.ExitQuarantined,
+			Msg:  fmt.Sprintf("%d of %d units quarantined (see results)", sum.Quarantined, sum.Total),
+		}
+	}
+	return nil
+}
+
+// parseShard parses "i/n" into a Shard.
+func parseShard(s string) (campaign.Shard, error) {
+	if s == "" {
+		return campaign.Shard{}, nil
+	}
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil || n <= 0 || i < 0 || i >= n {
+		return campaign.Shard{}, fmt.Errorf("bad -shard %q (want i/n with 0 <= i < n)", s)
+	}
+	return campaign.Shard{Index: i, Count: n}, nil
+}
+
+// parseSeeds parses a comma-separated seed list.
+func parseSeeds(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -19,16 +19,24 @@
 // subflow state transitions are evaluated periodically and once at the end.
 // Violations fail the run; with -runs > 1 they fail the whole summary,
 // naming each offending seed.
+//
+// SIGINT/SIGTERM stop the invocation gracefully: the running simulation is
+// stopped at the next event boundary (batch mode additionally dispatches no
+// further seeds), traces and meters flush, and the process exits 4
+// (supervise.ExitInterrupted). A second signal kills immediately.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"mptcpsim/internal/chaos"
@@ -55,6 +63,42 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// signalContext cancels on the first SIGINT/SIGTERM so in-flight work
+// drains; the AfterFunc restores default signal dispositions the moment the
+// context dies, so a second signal kills the process immediately instead of
+// waiting out the drain.
+func signalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	context.AfterFunc(ctx, func() { stop() })
+	return ctx, stop
+}
+
+// stopOnCancel schedules a periodic engine event that stops the engine once
+// ctx is cancelled, so a signal ends the simulation at a clean event
+// boundary — metrics, traces and meters then flush normally over whatever
+// simulated time actually elapsed. The check touches no RNG, so an
+// uncancelled run's results are unchanged by it.
+func stopOnCancel(ctx context.Context, eng *sim.Engine) {
+	if ctx == nil {
+		return
+	}
+	const every = 100 * sim.Millisecond
+	var tick func()
+	tick = func() {
+		if ctx.Err() != nil {
+			eng.Stop()
+			return
+		}
+		eng.ScheduleAfter(every, tick)
+	}
+	eng.ScheduleAfter(every, tick)
+}
+
+// interruptedErr is the exit-4 error for a signal-stopped invocation.
+func interruptedErr(msg string) error {
+	return &supervise.ExitCodeError{Code: supervise.ExitInterrupted, Msg: msg}
 }
 
 // scenario carries every knob one simulation run needs, so repeated runs
@@ -86,7 +130,10 @@ type runResult struct {
 	joules     float64
 	meanPower  float64
 	reinj      int64
-	err        error
+	// interrupted: a signal stopped this run before its horizon; the
+	// metrics cover only the simulated time that elapsed.
+	interrupted bool
+	err         error
 }
 
 func run(args []string) error {
@@ -118,11 +165,14 @@ func run(args []string) error {
 		return err
 	}
 
+	ctx, stop := signalContext()
+	defer stop()
+
 	if *replay != "" {
 		return runReplay(*replay, *timeout, *soakEv)
 	}
 	if *soakSpec != "" {
-		return runSoak(*soakSpec, *seed, *workers, *soakDir, *timeout, *soakEv, *inject)
+		return runSoak(ctx, *soakSpec, *seed, *workers, *soakDir, *timeout, *soakEv, *inject)
 	}
 
 	sc := scenario{
@@ -135,11 +185,11 @@ func run(args []string) error {
 
 	if *runs <= 1 {
 		if *timeout <= 0 {
-			return runOne(sc, *seed, nil)
+			return runOne(ctx, sc, *seed, nil)
 		}
 		sup := supervise.New(supervise.Budget{Wall: *timeout})
 		rep := sup.Run(supervise.RunID{Seed: *seed, Scenario: sc.topo, Phase: "adhoc"},
-			func(wd *supervise.Watchdog) error { return runOne(sc, *seed, wd) })
+			func(wd *supervise.Watchdog) error { return runOne(ctx, sc, *seed, wd) })
 		if rep.Outcome.Failed() {
 			return rep.Err
 		}
@@ -148,14 +198,15 @@ func run(args []string) error {
 
 	// Every run of a batch executes under the supervisor: a panicking or
 	// invariant-violating seed is quarantined into its row instead of
-	// killing the batch, and -timeout bounds each run's wall clock.
+	// killing the batch, and -timeout bounds each run's wall clock. A
+	// signal drains the in-flight seeds and skips the rest.
 	sup := supervise.New(supervise.Budget{Wall: *timeout})
-	results := runner.Map(*workers, *runs, func(i int) runResult {
+	results, done := runner.MapCtx(ctx, *workers, *runs, func(i int) runResult {
 		s := *seed + int64(i)
 		var r runResult
 		rep := sup.Run(supervise.RunID{Seed: s, Scenario: sc.topo, Phase: "adhoc"},
 			func(wd *supervise.Watchdog) error {
-				r = runQuiet(sc, s, wd)
+				r = runQuiet(ctx, sc, s, wd)
 				return r.err
 			})
 		if rep.Outcome.Failed() {
@@ -167,7 +218,13 @@ func run(args []string) error {
 		"seed", "goodput_mbps", "acked_mb", "energy_j", "mean_w", "events", "wall_s")
 	var sumGoodput, sumJoules float64
 	var failed []runResult
-	for _, r := range results {
+	var skipped, cut int
+	for i, r := range results {
+		if done != nil && !done[i] {
+			fmt.Printf("%-6d skipped (interrupted before start)\n", *seed+int64(i))
+			skipped++
+			continue
+		}
 		if r.err != nil {
 			// Report the failure in the row, keep printing the other seeds,
 			// and fail the whole invocation below. A bad seed must not be
@@ -176,17 +233,32 @@ func run(args []string) error {
 			failed = append(failed, r)
 			continue
 		}
+		if r.interrupted {
+			// Stopped mid-run by the signal: the partial metrics would skew
+			// the mean, so the row reports how far it got and nothing more.
+			fmt.Printf("%-6d interrupted at %.1fs simulated (partial, excluded from mean)\n",
+				r.seed, r.simSecs)
+			cut++
+			continue
+		}
 		fmt.Printf("%-6d %12.2f %10.1f %12.1f %10.2f %10d %8.2f\n",
 			r.seed, r.goodputBps/1e6, float64(r.acked)/(1<<20),
 			r.joules, r.meanPower, r.events, r.wallSecs)
 		sumGoodput += r.goodputBps
 		sumJoules += r.joules
 	}
-	if n := float64(len(results) - len(failed)); n > 0 {
+	if n := float64(len(results) - len(failed) - skipped - cut); n > 0 {
 		fmt.Printf("mean over %d runs: goodput %.2f Mb/s, energy %.1f J\n",
-			len(results)-len(failed), sumGoodput/n/1e6, sumJoules/n)
+			int(n), sumGoodput/n/1e6, sumJoules/n)
 	}
 	fmt.Printf("outcomes: %s\n", sup.Counts())
+	if skipped+cut > 0 {
+		// Exit 4: a signal stopped the batch early; completed rows above
+		// are valid and were flushed before exit.
+		return interruptedErr(fmt.Sprintf(
+			"interrupted: %d of %d runs completed (%d cut mid-run, %d never started)",
+			len(results)-len(failed)-skipped-cut, len(results), cut, skipped))
+	}
 	if len(failed) > 0 {
 		var sb strings.Builder
 		fmt.Fprintf(&sb, "%d of %d runs quarantined:", len(failed), len(results))
@@ -203,10 +275,10 @@ func run(args []string) error {
 // runSoak runs a chaos campaign (-soak), writing shrunk failing scenarios
 // into the quarantine directory. The argument is a scenario count or a
 // wall-clock duration.
-func runSoak(spec string, seed int64, workers int, dir string, timeout time.Duration, events uint64, inject int) error {
+func runSoak(ctx context.Context, spec string, seed int64, workers int, dir string, timeout time.Duration, events uint64, inject int) error {
 	cfg := chaos.SoakConfig{
 		Seed: seed, Workers: workers, Dir: dir,
-		Timeout: timeout, MaxEvents: events, Inject: inject,
+		Timeout: timeout, MaxEvents: events, Inject: inject, Ctx: ctx,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "soak: "+format+"\n", args...)
 		},
@@ -232,6 +304,12 @@ func runSoak(spec string, seed int64, workers int, dir string, timeout time.Dura
 			loc = "(artifact not written)"
 		}
 		fmt.Printf("  chaos[%d] %s %s shrink_runs=%d %s\n", f.Index, f.Outcome, f.Signature, f.ShrinkRuns, loc)
+	}
+	if res.Interrupted {
+		// Exit 4: the soak was stopped by a signal; artifacts written so far
+		// are complete and valid.
+		return interruptedErr(fmt.Sprintf(
+			"soak interrupted after %d scenarios (%d quarantined)", res.Scenarios, len(res.Failures)))
 	}
 	if res.Failed() {
 		return &supervise.ExitCodeError{
@@ -378,9 +456,10 @@ func startTrace(eng *sim.Engine, sc scenario, seed int64, conn *mptcp.Conn, mete
 }
 
 // runQuiet executes one run and returns only the summary, for -runs > 1.
-func runQuiet(sc scenario, seed int64, wd *supervise.Watchdog) runResult {
+func runQuiet(ctx context.Context, sc scenario, seed int64, wd *supervise.Watchdog) runResult {
 	eng := sim.NewEngine(seed)
 	wd.Attach(eng)
+	stopOnCancel(ctx, eng)
 	conn, meter, err := setup(eng, sc)
 	if err != nil {
 		return runResult{seed: seed, err: err}
@@ -409,22 +488,24 @@ func runQuiet(sc scenario, seed int64, wd *supervise.Watchdog) runResult {
 		}
 	}
 	return runResult{
-		seed:       seed,
-		simSecs:    eng.Now().Seconds(),
-		wallSecs:   time.Since(start).Seconds(),
-		events:     eng.Processed(),
-		goodputBps: conn.MeanThroughputBps(),
-		acked:      conn.AckedBytes(),
-		joules:     meter.Joules(),
-		meanPower:  meter.MeanPower(),
-		reinj:      conn.ReinjectedSegs(),
+		seed:        seed,
+		simSecs:     eng.Now().Seconds(),
+		wallSecs:    time.Since(start).Seconds(),
+		events:      eng.Processed(),
+		goodputBps:  conn.MeanThroughputBps(),
+		acked:       conn.AckedBytes(),
+		joules:      meter.Joules(),
+		meanPower:   meter.MeanPower(),
+		reinj:       conn.ReinjectedSegs(),
+		interrupted: ctx != nil && ctx.Err() != nil,
 	}
 }
 
 // runOne executes a single run with the full per-subflow report.
-func runOne(sc scenario, seed int64, wd *supervise.Watchdog) error {
+func runOne(ctx context.Context, sc scenario, seed int64, wd *supervise.Watchdog) error {
 	eng := sim.NewEngine(seed)
 	wd.Attach(eng)
+	stopOnCancel(ctx, eng)
 	conn, meter, err := setup(eng, sc)
 	if err != nil {
 		return err
@@ -479,6 +560,12 @@ func runOne(sc scenario, seed int64, wd *supervise.Watchdog) error {
 			}
 			fmt.Println()
 		}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		// Exit 4: the metrics above cover the simulated time that elapsed
+		// before the signal; trace and meter were flushed.
+		return interruptedErr(fmt.Sprintf(
+			"interrupted at %.1fs simulated (of %s requested)", eng.Now().Seconds(), sc.duration))
 	}
 	return nil
 }

@@ -1,0 +1,216 @@
+// Package campaign makes a whole experiment sweep as survivable as the
+// individual runs internal/supervise already protects. A campaign expands
+// its spec into a manifest of deterministic unit identities up front, runs
+// the units across a worker pool (optionally sharded over processes), and
+// checkpoints every completed unit in a write-ahead journal, so a campaign
+// killed at any point — OOM, CI timeout, Ctrl-C — resumes by re-executing
+// only the remainder. Because each unit's artifacts derive only from its
+// own identity (seeds come from the manifest, never from scheduling), an
+// interrupted-then-resumed campaign merges to byte-identical outputs at
+// any worker count and any kill point; the tests assert exactly that.
+//
+// On-disk layout of a campaign directory:
+//
+//	manifest.json         spec + expanded unit IDs, written once at start
+//	journal.jsonl         write-ahead journal, one line per finished unit
+//	units/<id>/table.txt  the unit's rendered figure table
+//	units/<id>/records/   obsv JSONL/CSV run records (Spec.Records)
+//	results.txt           merged tables in manifest order (after Merge)
+//	campaign.json         deterministic merged payload (after Merge)
+//	campaign_meta.json    volatile sidecar: timestamps, versions, timings
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mptcpsim/internal/exp"
+)
+
+// ManifestVersion guards the on-disk manifest/journal schema; Resume
+// refuses directories written by a version it does not understand.
+const ManifestVersion = 1
+
+// Spec declares what a campaign runs. Everything in the Spec shapes the
+// deterministic payload (unit set, digests, merged outputs), so it is
+// persisted in the manifest and a resume always uses the stored spec —
+// never the flags of the resuming invocation.
+type Spec struct {
+	// Experiments are exp figure IDs, in the order their tables merge.
+	Experiments []string `json:"experiments"`
+	// Seeds are the campaign's repetition axis: every experiment runs once
+	// per seed. Empty means {1}.
+	Seeds []int64 `json:"seeds"`
+	// Scale and Reps are forwarded to exp.Config.
+	Scale float64 `json:"scale"`
+	Reps  int     `json:"reps"`
+	// Records exports obsv JSONL/CSV run records under each unit's
+	// directory; they join the unit digest, so resumed and uninterrupted
+	// campaigns must agree on record bytes too.
+	Records bool `json:"records"`
+	// Check runs the invariant checker on every simulation run.
+	Check bool `json:"check"`
+}
+
+func (s Spec) withDefaults() Spec {
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1}
+	}
+	if s.Scale <= 0 || s.Scale > 1 {
+		s.Scale = 1
+	}
+	return s
+}
+
+// Unit is one schedulable run identity. The Algorithm and Scenario axes
+// are part of the stable ID scheme; today every figure expands its
+// algorithm × scenario grid internally (recorded per run in the unit's
+// obsv records), so campaign-level units carry "all" there.
+type Unit struct {
+	Experiment string `json:"experiment"`
+	Algorithm  string `json:"algorithm"`
+	Scenario   string `json:"scenario"`
+	Seed       int64  `json:"seed"`
+}
+
+// ID is the unit's stable identity: equal units get equal IDs across
+// processes, machines and code versions, which is what lets journals
+// written by one invocation be trusted by the next.
+func (u Unit) ID() string {
+	return fmt.Sprintf("%s_%s_%s_seed%d",
+		slug(u.Experiment), slug(u.Algorithm), slug(u.Scenario), u.Seed)
+}
+
+// Dir returns the unit's artifact directory under the campaign dir.
+func (u Unit) Dir(dir string) string { return filepath.Join(dir, "units", u.ID()) }
+
+// Manifest is the expanded, ordered unit list of one campaign.
+type Manifest struct {
+	Version int    `json:"version"`
+	Spec    Spec   `json:"spec"`
+	Units   []Unit `json:"units"`
+}
+
+// Expand validates the spec and expands it into the manifest: experiments
+// in spec order × seeds in spec order. The expansion is the merge order,
+// fixed here once — scheduling never reorders it.
+func Expand(spec Spec) (*Manifest, error) {
+	spec = spec.withDefaults()
+	if len(spec.Experiments) == 0 {
+		return nil, fmt.Errorf("campaign: spec names no experiments")
+	}
+	seen := make(map[string]bool)
+	m := &Manifest{Version: ManifestVersion, Spec: spec}
+	for _, id := range spec.Experiments {
+		if _, ok := exp.Lookup(id); !ok {
+			return nil, fmt.Errorf("campaign: unknown experiment %q", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("campaign: experiment %q listed twice", id)
+		}
+		seen[id] = true
+		for _, seed := range spec.Seeds {
+			m.Units = append(m.Units, Unit{
+				Experiment: id, Algorithm: "all", Scenario: "all", Seed: seed,
+			})
+		}
+	}
+	return m, nil
+}
+
+// Shard selects the subset of the manifest one process executes: unit i
+// runs on the shard where i % Count == Index. The zero Shard means "all
+// units". Shards share the campaign directory (their unit sets are
+// disjoint) but append to per-shard journals; Merge reads them all.
+type Shard struct {
+	Index, Count int
+}
+
+func (s Shard) validate() error {
+	if s.Count <= 0 {
+		return nil
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("campaign: shard index %d out of range for %d shards", s.Index, s.Count)
+	}
+	return nil
+}
+
+// owns reports whether this shard executes manifest index i.
+func (s Shard) owns(i int) bool {
+	if s.Count <= 1 {
+		return true
+	}
+	return i%s.Count == s.Index
+}
+
+// manifestPath is the manifest file under a campaign directory.
+func manifestPath(dir string) string { return filepath.Join(dir, "manifest.json") }
+
+// WriteManifest persists the manifest atomically (temp file + rename), so
+// concurrent shard processes starting the same campaign either see a
+// complete manifest or none.
+func WriteManifest(dir string, m *Manifest) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), manifestPath(dir))
+}
+
+// LoadManifest reads a campaign directory's manifest.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("campaign: bad manifest %s: %w", manifestPath(dir), err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("campaign: manifest version %d, this build understands %d",
+			m.Version, ManifestVersion)
+	}
+	return &m, nil
+}
+
+// specEqual compares two specs structurally (order-sensitive: the spec
+// fixes merge order).
+func specEqual(a, b Spec) bool {
+	aj, _ := json.Marshal(a.withDefaults())
+	bj, _ := json.Marshal(b.withDefaults())
+	return string(aj) == string(bj)
+}
+
+// slug normalizes an ID component exactly like internal/exp's record
+// filenames: lower case, anything outside [a-z0-9._-] collapsed to '-'.
+func slug(s string) string {
+	s = strings.ToLower(s)
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '-'
+		}
+	}, s)
+}

@@ -1,0 +1,315 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"mptcpsim/internal/exp"
+	"mptcpsim/internal/supervise"
+)
+
+func TestExpandManifestOrderAndValidation(t *testing.T) {
+	m, err := Expand(Spec{Experiments: []string{"fig4", "fig1"}, Seeds: []int64{2, 1}, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, u := range m.Units {
+		ids = append(ids, u.ID())
+	}
+	want := []string{"fig4_all_all_seed2", "fig4_all_all_seed1", "fig1_all_all_seed2", "fig1_all_all_seed1"}
+	if strings.Join(ids, ",") != strings.Join(want, ",") {
+		t.Fatalf("expansion order %v, want %v (spec order is merge order)", ids, want)
+	}
+
+	if _, err := Expand(Spec{Experiments: []string{"nope"}}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := Expand(Spec{Experiments: []string{"fig1", "fig1"}}); err == nil {
+		t.Fatal("duplicate experiment accepted")
+	}
+	if _, err := Expand(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+// fakeExec is a deterministic unit executor for journal/merge tests: cheap,
+// content derived only from the unit identity, and it records which units
+// ran. fail selects unit IDs that fail permanently; transientFails counts
+// down Transient failures before success.
+type fakeExec struct {
+	mu             sync.Mutex
+	ran            []string
+	fail           map[string]bool
+	transientFails map[string]int
+}
+
+func (f *fakeExec) exec(ctx context.Context, u Unit, udir string, cfg exp.Config) (UnitOutput, error) {
+	f.mu.Lock()
+	f.ran = append(f.ran, u.ID())
+	if n := f.transientFails[u.ID()]; n > 0 {
+		f.transientFails[u.ID()] = n - 1
+		f.mu.Unlock()
+		return UnitOutput{}, supervise.Transient(errors.New("flaky filesystem"))
+	}
+	f.mu.Unlock()
+	if f.fail != nil && f.fail[u.ID()] {
+		return UnitOutput{}, fmt.Errorf("deterministic failure in %s", u.ID())
+	}
+	table := fmt.Sprintf("== %s ==\nrow for seed %d\n", u.ID(), u.Seed)
+	if err := os.WriteFile(filepath.Join(udir, "table.txt"), []byte(table), 0o644); err != nil {
+		return UnitOutput{}, supervise.Transient(err)
+	}
+	return UnitOutput{Events: uint64(u.Seed) * 100}, nil
+}
+
+func (f *fakeExec) runCount(id string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, r := range f.ran {
+		if r == id {
+			n++
+		}
+	}
+	return n
+}
+
+var fakeSpec = Spec{Experiments: []string{"fig1", "fig4"}, Seeds: []int64{1, 2}, Scale: 0.1}
+
+// mustOutputs reads the two merged artifacts a finished campaign must have.
+func mustOutputs(t *testing.T, dir string) (results, payload string) {
+	t.Helper()
+	r, err := os.ReadFile(filepath.Join(dir, "results.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := os.ReadFile(filepath.Join(dir, "campaign.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(r), string(p)
+}
+
+func TestJournalTornTailRecovered(t *testing.T) {
+	ref := t.TempDir()
+	fe := &fakeExec{}
+	if sum, err := Start(context.Background(), ref, fakeSpec, Options{Workers: 1, Exec: fe.exec}); err != nil || !sum.Merged {
+		t.Fatalf("reference campaign: sum=%+v err=%v", sum, err)
+	}
+	wantResults, wantPayload := mustOutputs(t, ref)
+
+	dir := t.TempDir()
+	fe2 := &fakeExec{}
+	if _, err := Start(context.Background(), dir, fakeSpec, Options{Workers: 1, Exec: fe2.exec}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the journal's final line mid-write, as a crash between write and
+	// newline would. The victim unit's commit is lost; resume must detect
+	// the torn line, truncate it away and re-run exactly that unit.
+	jpath := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(data), "\n"), "\n")
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(jpath, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fe3 := &fakeExec{}
+	sum, err := Resume(context.Background(), dir, Options{Workers: 1, Exec: fe3.exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ran != 1 || sum.Reused != 3 {
+		t.Fatalf("resume after torn line: ran=%d reused=%d, want 1/3", sum.Ran, sum.Reused)
+	}
+	if !sum.Merged {
+		t.Fatal("resume did not merge")
+	}
+	gotResults, gotPayload := mustOutputs(t, dir)
+	if gotResults != wantResults {
+		t.Errorf("results.txt differs after torn-journal resume:\n%s\nwant:\n%s", gotResults, wantResults)
+	}
+	if gotPayload != wantPayload {
+		t.Errorf("campaign.json differs after torn-journal resume:\n%s\nwant:\n%s", gotPayload, wantPayload)
+	}
+}
+
+func TestJournalInteriorCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	fe := &fakeExec{}
+	if _, err := Start(context.Background(), dir, fakeSpec, Options{Workers: 1, Exec: fe.exec}); err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the FIRST line: not a torn tail, must refuse to resume
+	// rather than silently dropping committed state.
+	corrupt := "garbage{{{\n" + string(data[strings.IndexByte(string(data), '\n')+1:])
+	if err := os.WriteFile(jpath, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(context.Background(), dir, Options{Workers: 1, Exec: fe.exec}); err == nil {
+		t.Fatal("interior journal corruption accepted")
+	}
+}
+
+func TestDigestMismatchReruns(t *testing.T) {
+	dir := t.TempDir()
+	fe := &fakeExec{}
+	if _, err := Start(context.Background(), dir, fakeSpec, Options{Workers: 1, Exec: fe.exec}); err != nil {
+		t.Fatal(err)
+	}
+	wantResults, wantPayload := mustOutputs(t, dir)
+
+	// Hand-edit one unit's artifact; its journaled digest no longer
+	// matches, so resume must re-run it instead of trusting the artifact.
+	victim := Unit{Experiment: "fig4", Algorithm: "all", Scenario: "all", Seed: 2}
+	if err := os.WriteFile(filepath.Join(victim.Dir(dir), "table.txt"), []byte("tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fe2 := &fakeExec{}
+	sum, err := Resume(context.Background(), dir, Options{Workers: 1, Exec: fe2.exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe2.runCount(victim.ID()) != 1 || sum.Ran != 1 {
+		t.Fatalf("tampered unit not re-run exactly once (ran=%v)", fe2.ran)
+	}
+	gotResults, gotPayload := mustOutputs(t, dir)
+	if gotResults != wantResults || gotPayload != wantPayload {
+		t.Error("outputs differ after digest-mismatch re-run")
+	}
+}
+
+func TestQuarantinedUnitDegradesToNote(t *testing.T) {
+	dir := t.TempDir()
+	badID := "fig4_all_all_seed1"
+	fe := &fakeExec{fail: map[string]bool{badID: true}}
+	sum, err := Start(context.Background(), dir, fakeSpec, Options{Workers: 1, Exec: fe.exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Quarantined != 1 || !sum.Merged {
+		t.Fatalf("sum=%+v, want one quarantined unit and a merge", sum)
+	}
+	results, payload := mustOutputs(t, dir)
+	if !strings.Contains(results, "== "+badID+": quarantined ==") ||
+		!strings.Contains(results, "deterministic failure in "+badID) {
+		t.Errorf("merged results missing quarantine stanza:\n%s", results)
+	}
+	if !strings.Contains(payload, `"status": "quarantined"`) {
+		t.Errorf("payload missing quarantined status:\n%s", payload)
+	}
+
+	// Resume must not re-run a deterministic failure.
+	fe2 := &fakeExec{fail: map[string]bool{badID: true}}
+	sum2, err := Resume(context.Background(), dir, Options{Workers: 1, Exec: fe2.exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fe2.ran) != 0 || sum2.Reused != 4 {
+		t.Fatalf("resume re-ran quarantined unit: ran=%v sum=%+v", fe2.ran, sum2)
+	}
+}
+
+func TestTransientFailureRetriesThenSucceeds(t *testing.T) {
+	dir := t.TempDir()
+	flaky := "fig1_all_all_seed2"
+	fe := &fakeExec{transientFails: map[string]int{flaky: 2}}
+	sum, err := Start(context.Background(), dir, fakeSpec, Options{Workers: 1, Exec: fe.exec, Retries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Quarantined != 0 || sum.Ran != 4 {
+		t.Fatalf("transient failures not retried to success: %+v", sum)
+	}
+	if n := fe.runCount(flaky); n != 3 {
+		t.Fatalf("flaky unit ran %d times, want 3 (two transient failures + success)", n)
+	}
+}
+
+func TestTransientExhaustionQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	flaky := "fig1_all_all_seed1"
+	fe := &fakeExec{transientFails: map[string]int{flaky: 99}}
+	sum, err := Start(context.Background(), dir, fakeSpec, Options{Workers: 1, Exec: fe.exec, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Quarantined != 1 {
+		t.Fatalf("exhausted transient retries did not quarantine: %+v", sum)
+	}
+}
+
+func TestStartRefusesDifferentSpec(t *testing.T) {
+	dir := t.TempDir()
+	fe := &fakeExec{}
+	if _, err := Start(context.Background(), dir, fakeSpec, Options{Workers: 1, Exec: fe.exec}); err != nil {
+		t.Fatal(err)
+	}
+	other := fakeSpec
+	other.Seeds = []int64{7}
+	if _, err := Start(context.Background(), dir, other, Options{Workers: 1, Exec: fe.exec}); err == nil {
+		t.Fatal("directory with a different spec accepted")
+	}
+	// Identical spec continues (shard-friendly idempotent start).
+	sum, err := Start(context.Background(), dir, fakeSpec, Options{Workers: 1, Exec: fe.exec})
+	if err != nil || sum.Reused != 4 {
+		t.Fatalf("idempotent restart: sum=%+v err=%v", sum, err)
+	}
+}
+
+func TestShardedCampaignMergesIdentical(t *testing.T) {
+	ref := t.TempDir()
+	fe := &fakeExec{}
+	if _, err := Start(context.Background(), ref, fakeSpec, Options{Workers: 1, Exec: fe.exec}); err != nil {
+		t.Fatal(err)
+	}
+	wantResults, wantPayload := mustOutputs(t, ref)
+
+	dir := t.TempDir()
+	var lastSum *Summary
+	for shard := 0; shard < 2; shard++ {
+		fs := &fakeExec{}
+		sum, err := Start(context.Background(), dir, fakeSpec, Options{
+			Workers: 1, Exec: fs.exec, Shard: Shard{Index: shard, Count: 2},
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		if sum.Total != 2 || sum.Ran != 2 {
+			t.Fatalf("shard %d ran %d of %d units, want 2 of 2", shard, sum.Ran, sum.Total)
+		}
+		lastSum = sum
+	}
+	if !lastSum.Merged {
+		t.Fatal("final shard did not merge")
+	}
+	gotResults, gotPayload := mustOutputs(t, dir)
+	if gotResults != wantResults {
+		t.Errorf("sharded results.txt differs from unsharded:\n%s\nwant:\n%s", gotResults, wantResults)
+	}
+	if gotPayload != wantPayload {
+		t.Errorf("sharded campaign.json differs from unsharded:\n%s\nwant:\n%s", gotPayload, wantPayload)
+	}
+}
+
+func TestResumeWithoutManifestErrors(t *testing.T) {
+	if _, err := Resume(context.Background(), t.TempDir(), Options{}); err == nil {
+		t.Fatal("resume of an empty directory accepted")
+	}
+}

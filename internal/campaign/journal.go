@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Status is a journaled unit's terminal state.
+type Status string
+
+const (
+	// StatusDone: the unit completed and its artifacts carry the recorded
+	// digest. Resume skips it after re-verifying the digest.
+	StatusDone Status = "done"
+	// StatusQuarantined: the unit failed permanently (deterministic panic,
+	// retry exhaustion). Resume does not re-run it — a deterministic
+	// failure reproduces — and the merge degrades it to a note, exactly
+	// like exp.Config.Sup degrades a failed row inside a figure.
+	StatusQuarantined Status = "quarantined"
+)
+
+// Entry is one journal line: the write-ahead record that a unit reached a
+// terminal state. Digest covers every file under the unit's directory, so
+// a resume detects stale or truncated artifacts instead of trusting them.
+type Entry struct {
+	ID       string `json:"id"`
+	Status   Status `json:"status"`
+	Digest   string `json:"digest,omitempty"`
+	Events   uint64 `json:"events"`
+	Attempts int    `json:"attempts,omitempty"`
+	// Note carries a quarantined unit's deterministic failure message; it
+	// becomes the unit's stanza in the merged results.
+	Note string `json:"note,omitempty"`
+}
+
+// DefaultSyncEvery bounds journal fsync staleness: an append syncs when at
+// least this much wall time has passed since the last sync (and Close and
+// the signal path always sync). Units completing inside the final unsynced
+// window of a hard kill (SIGKILL) simply re-run on resume — the journal
+// trades at most one sync interval of redone work for not paying an fsync
+// per line.
+const DefaultSyncEvery = 250 * time.Millisecond
+
+// Journal is an append-only JSONL checkpoint log. One writer per process;
+// Append is not safe for concurrent use (the campaign serializes appends
+// through a mutex in the run loop).
+type Journal struct {
+	f         *os.File
+	syncEvery time.Duration
+	lastSync  time.Time
+	now       func() time.Time // test seam
+}
+
+// journalName returns the journal filename for a shard ("journal.jsonl"
+// unsharded, "journal.shard<i>-<n>.jsonl" for shard i of n).
+func journalName(s Shard) string {
+	if s.Count <= 1 {
+		return "journal.jsonl"
+	}
+	return fmt.Sprintf("journal.shard%d-%d.jsonl", s.Index, s.Count)
+}
+
+// Recovery describes what OpenJournal found and repaired.
+type Recovery struct {
+	// Entries is every valid journal line across all shard journals in the
+	// directory, last-write-wins per unit ID.
+	Entries map[string]Entry
+	// TornLines counts trailing lines discarded as torn (a crash mid-write
+	// leaves a partial final line; it is truncated away, and its unit —
+	// never having committed — re-runs).
+	TornLines int
+}
+
+// OpenJournal opens (creating if absent) the journal for the given shard
+// under dir, first reading every journal file in the directory to build
+// the completed-unit map. A torn final line in any journal is recovered by
+// discarding it; a malformed line anywhere else poisons the journal and
+// errors, because silently skipping interior corruption could resurrect a
+// unit state that later lines depended on. The shard's own journal file is
+// physically truncated past its last good line so appends never chase torn
+// bytes.
+func OpenJournal(dir string, shard Shard, syncEvery time.Duration) (*Journal, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{Entries: make(map[string]Entry)}
+	names, err := filepath.Glob(filepath.Join(dir, "journal*.jsonl"))
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(names) // deterministic read order across shards
+	own := filepath.Join(dir, journalName(shard))
+	var ownGood int64 // byte offset past the last good line of our own file
+	for _, name := range names {
+		good, torn, err := readJournal(name, rec.Entries)
+		if err != nil {
+			return nil, nil, err
+		}
+		if torn {
+			rec.TornLines++
+		}
+		if name == own {
+			ownGood = good
+		}
+	}
+	f, err := os.OpenFile(own, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := f.Truncate(ownGood); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(ownGood, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncEvery
+	}
+	return &Journal{f: f, syncEvery: syncEvery, now: time.Now}, rec, nil
+}
+
+// readJournal parses one journal file into entries, returning the byte
+// offset past the last good line and whether a torn trailing line was
+// discarded.
+func readJournal(name string, entries map[string]Entry) (good int64, torn bool, err error) {
+	data, err := os.ReadFile(name)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			// Trailing bytes with no newline: the final write was cut
+			// mid-line. Even if the fragment parses, the commit never
+			// finished — discard it; the unit simply re-runs.
+			return int64(off), true, nil
+		}
+		line := rest[:nl]
+		var e Entry
+		if uerr := json.Unmarshal(line, &e); uerr != nil || e.ID == "" || !validStatus(e.Status) {
+			if off+nl+1 == len(data) {
+				// Unparseable final line: torn write, recoverable.
+				return int64(off), true, nil
+			}
+			return 0, false, fmt.Errorf(
+				"campaign: journal %s corrupt at byte %d (not a trailing torn line): %q",
+				name, off, truncateForErr(line))
+		}
+		entries[e.ID] = e
+		off += nl + 1
+	}
+	return int64(off), false, nil
+}
+
+func validStatus(s Status) bool { return s == StatusDone || s == StatusQuarantined }
+
+func truncateForErr(b []byte) string {
+	const max = 120
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}
+
+// Append writes one entry and syncs if the bounded sync interval elapsed.
+func (j *Journal) Append(e Entry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if j.now().Sub(j.lastSync) >= j.syncEvery {
+		return j.Sync()
+	}
+	return nil
+}
+
+// Sync fsyncs the journal to stable storage.
+func (j *Journal) Sync() error {
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.lastSync = j.now()
+	return nil
+}
+
+// Close syncs and releases the journal.
+func (j *Journal) Close() error {
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

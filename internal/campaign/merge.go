@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// ErrIncomplete marks a merge attempted while manifest units are still
+// unfinished (interrupted campaign, or sibling shards still running).
+var ErrIncomplete = errors.New("campaign: incomplete")
+
+// unitPayload is one unit's row in the deterministic merged payload.
+type unitPayload struct {
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+	Digest string `json:"digest,omitempty"`
+	Events uint64 `json:"events"`
+	Note   string `json:"note,omitempty"`
+}
+
+// payload is campaign.json: everything in it derives from the manifest and
+// the units' deterministic artifacts, never from the clock, the machine or
+// the schedule — CI byte-diffs it between interrupted-then-resumed and
+// uninterrupted campaigns. Volatile facts (timestamps, versions, attempt
+// counts) live in the campaign_meta.json sidecar instead.
+type payload struct {
+	Version     int           `json:"version"`
+	Spec        Spec          `json:"spec"`
+	Units       []unitPayload `json:"units"`
+	TotalEvents uint64        `json:"total_events"`
+}
+
+// meta is campaign_meta.json: volatile by design, excluded from diffs.
+type meta struct {
+	MergedAt  string `json:"merged_at"`
+	GoVersion string `json:"go_version"`
+}
+
+// MergeResult reports what a merge produced.
+type MergeResult struct {
+	Units       int
+	Quarantined int
+	TotalEvents uint64
+}
+
+// Merge folds a finished campaign's per-unit artifacts into the campaign
+// outputs: results.txt (tables in manifest order; a quarantined unit
+// degrades to a note stanza) and campaign.json (the deterministic payload),
+// plus the campaign_meta.json sidecar. It errors with ErrIncomplete while
+// any manifest unit lacks a terminal journal entry. Merging is idempotent
+// and deterministic: any shard or resume may run it last, concurrent
+// mergers write identical bytes via atomic rename.
+func Merge(dir string) (*MergeResult, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries := make(map[string]Entry)
+	names, err := filepath.Glob(filepath.Join(dir, "journal*.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if _, _, err := readJournal(name, entries); err != nil {
+			return nil, err
+		}
+	}
+
+	var missing []string
+	for _, u := range m.Units {
+		if _, ok := entries[u.ID()]; !ok {
+			missing = append(missing, u.ID())
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("%w: %d of %d units unfinished (first: %s)",
+			ErrIncomplete, len(missing), len(m.Units), missing[0])
+	}
+
+	var (
+		results strings.Builder
+		pl      = payload{Version: ManifestVersion, Spec: m.Spec}
+		res     MergeResult
+	)
+	for _, u := range m.Units {
+		e := entries[u.ID()]
+		up := unitPayload{ID: e.ID, Status: e.Status, Digest: e.Digest, Events: e.Events, Note: e.Note}
+		pl.Units = append(pl.Units, up)
+		pl.TotalEvents += e.Events
+		res.Units++
+		switch e.Status {
+		case StatusDone:
+			table, rerr := os.ReadFile(filepath.Join(u.Dir(dir), "table.txt"))
+			if rerr != nil {
+				return nil, fmt.Errorf("campaign: unit %s journaled done but %w", u.ID(), rerr)
+			}
+			results.Write(table)
+		case StatusQuarantined:
+			res.Quarantined++
+			fmt.Fprintf(&results, "== %s: quarantined ==\nnote: %s\n", u.ID(), e.Note)
+		}
+		results.WriteByte('\n')
+	}
+	res.TotalEvents = pl.TotalEvents
+
+	if err := writeFileAtomic(dir, "results.txt", []byte(results.String())); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(pl, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(dir, "campaign.json", append(data, '\n')); err != nil {
+		return nil, err
+	}
+	md, err := json.MarshalIndent(meta{
+		MergedAt:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(dir, "campaign_meta.json", append(md, '\n')); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// writeFileAtomic writes name under dir via temp file + rename, so a
+// reader (or a concurrent merger) never sees a half-written file.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "."+name+"-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+}

@@ -1,0 +1,378 @@
+package campaign
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"mptcpsim/internal/exp"
+	"mptcpsim/internal/runner"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/supervise"
+)
+
+// Options controls how a campaign executes — scheduling and robustness
+// knobs only. Nothing in Options may change the deterministic payload;
+// anything that would belongs in Spec, where it is persisted.
+type Options struct {
+	// Workers sizes the unit pool. Units run with exp.Config.Workers = 1 —
+	// the campaign parallelizes across units, not inside them — so -j
+	// bounds total engine goroutines. 0 means one worker per CPU.
+	Workers int
+	// Shard restricts this process to its slice of the manifest.
+	Shard Shard
+	// Timeout bounds each simulation run's wall clock via the supervisor
+	// (0 = none).
+	Timeout time.Duration
+	// Retries is how many times a transient unit failure (file system
+	// errors, not simulation failures) is re-attempted before quarantine.
+	// 0 means DefaultRetries; negative disables retry.
+	Retries int
+	// SyncEvery bounds journal fsync staleness (0 = DefaultSyncEvery).
+	SyncEvery time.Duration
+	// SampleInterval is the obsv record sampling period when Spec.Records
+	// is set (0 = obsv.DefaultInterval).
+	SampleInterval sim.Time
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+
+	// Exec overrides unit execution (test seam; nil = the exp-backed
+	// executor).
+	Exec func(ctx context.Context, u Unit, dir string, cfg exp.Config) (UnitOutput, error)
+	// OnUnitDone runs after a unit's journal line is appended (test seam
+	// for simulating kills at exact checkpoint boundaries).
+	OnUnitDone func(u Unit, e Entry)
+}
+
+// DefaultRetries is the transient-failure retry budget per unit.
+const DefaultRetries = 2
+
+// UnitOutput is what a unit executor reports back.
+type UnitOutput struct {
+	// Events is the unit's simulation event count (journaled, merged).
+	Events uint64
+	// Interrupted reports the unit was cut short by cancellation: its
+	// artifacts are partial and it must not be checkpointed.
+	Interrupted bool
+}
+
+// Summary is the outcome of one campaign invocation.
+type Summary struct {
+	// Total is the number of units this shard owns; Reused were satisfied
+	// from the journal, Ran executed now, Quarantined failed permanently
+	// (including reused quarantines), Pending remain unfinished.
+	Total, Reused, Ran, Quarantined, Pending int
+	// Interrupted: the invocation was cancelled before finishing; the
+	// directory resumes exactly where the journal left off.
+	Interrupted bool
+	// Merged: every manifest unit (all shards) reached a terminal state
+	// and the merged outputs were (re)written.
+	Merged bool
+	// Counts aggregates the figure-level supervised run outcomes of the
+	// units that executed in this invocation.
+	Counts supervise.Counts
+}
+
+// Start begins (or, when the directory already holds an identical spec,
+// continues) a campaign in dir. A directory holding a different spec is
+// refused — a campaign directory belongs to exactly one manifest.
+func Start(ctx context.Context, dir string, spec Spec, opt Options) (*Summary, error) {
+	m, err := Expand(spec)
+	if err != nil {
+		return nil, err
+	}
+	existing, lerr := LoadManifest(dir)
+	switch {
+	case lerr == nil:
+		if !specEqual(existing.Spec, m.Spec) {
+			return nil, fmt.Errorf(
+				"campaign: %s already holds a different campaign (use -resume to continue it, or a fresh directory)", dir)
+		}
+		m = existing
+	case errors.Is(lerr, fs.ErrNotExist):
+		if err := WriteManifest(dir, m); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, lerr
+	}
+	return run(ctx, dir, m, opt)
+}
+
+// Resume continues an interrupted campaign from its manifest and journal:
+// completed units are verified by digest and skipped, quarantined units
+// stay quarantined, everything else re-runs. The spec comes from the
+// manifest, never from the caller.
+func Resume(ctx context.Context, dir string, opt Options) (*Summary, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("campaign: %s holds no campaign manifest (start one first)", dir)
+		}
+		return nil, err
+	}
+	return run(ctx, dir, m, opt)
+}
+
+func run(ctx context.Context, dir string, m *Manifest, opt Options) (*Summary, error) {
+	if err := opt.Shard.validate(); err != nil {
+		return nil, err
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runner.DefaultWorkers()
+	}
+	if opt.Retries == 0 {
+		opt.Retries = DefaultRetries
+	}
+	logf := opt.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	execFn := opt.Exec
+	if execFn == nil {
+		execFn = execUnit
+	}
+
+	journal, recovery, err := OpenJournal(dir, opt.Shard, opt.SyncEvery)
+	if err != nil {
+		return nil, err
+	}
+	defer journal.Close()
+	if recovery.TornLines > 0 {
+		logf("journal: discarded %d torn trailing line(s); the affected units re-run", recovery.TornLines)
+	}
+
+	sum := &Summary{}
+	var pending []Unit
+	for i, u := range m.Units {
+		if !opt.Shard.owns(i) {
+			continue
+		}
+		sum.Total++
+		e, ok := recovery.Entries[u.ID()]
+		if ok && e.Status == StatusQuarantined {
+			sum.Reused++
+			sum.Quarantined++
+			continue
+		}
+		if ok && e.Status == StatusDone {
+			if d, derr := digestDir(u.Dir(dir)); derr == nil && d == e.Digest {
+				sum.Reused++
+				continue
+			}
+			logf("unit %s: journaled digest no longer matches its artifacts; re-running", u.ID())
+		}
+		pending = append(pending, u)
+	}
+	logf("%d units total on this shard: %d reused from journal, %d to run",
+		sum.Total, sum.Reused, len(pending))
+
+	runSup := supervise.New(supervise.Budget{Wall: opt.Timeout})
+	var (
+		mu          sync.Mutex // journal appends and summary updates
+		interrupted bool
+	)
+	_, errs := runner.MapErrCtx(ctx, opt.Workers, len(pending), func(i int) (struct{}, error) {
+		u := pending[i]
+		cfg := exp.Config{
+			Seed: u.Seed, Scale: m.Spec.Scale, Reps: m.Spec.Reps,
+			Workers: 1, Check: m.Spec.Check, Sup: runSup, Ctx: ctx,
+			SampleInterval: opt.SampleInterval,
+		}
+		entry, out, uerr := runUnit(ctx, u, u.Dir(dir), cfg, m.Spec.Records, opt.Retries, execFn)
+		mu.Lock()
+		defer mu.Unlock()
+		if out.Interrupted {
+			interrupted = true
+			sum.Pending++
+			return struct{}{}, nil
+		}
+		if uerr != nil {
+			// Journal append or digest failure: the unit ran but could not
+			// be checkpointed. Fail hard — a journal that cannot be written
+			// cannot promise resumability.
+			return struct{}{}, uerr
+		}
+		if err := journal.Append(entry); err != nil {
+			return struct{}{}, fmt.Errorf("campaign: journal append: %w", err)
+		}
+		sum.Ran++
+		if entry.Status == StatusQuarantined {
+			sum.Quarantined++
+			logf("unit %s quarantined: %s", u.ID(), entry.Note)
+		} else {
+			logf("unit %s done (%d events)", u.ID(), entry.Events)
+		}
+		if opt.OnUnitDone != nil {
+			opt.OnUnitDone(u, entry)
+		}
+		return struct{}{}, nil
+	})
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, runner.ErrSkipped) {
+			interrupted = true
+			sum.Pending++
+			continue
+		}
+		return nil, e
+	}
+	if err := journal.Sync(); err != nil {
+		return nil, fmt.Errorf("campaign: journal sync: %w", err)
+	}
+	sum.Interrupted = interrupted || ctx.Err() != nil
+	sum.Counts = runSup.Counts()
+
+	// Merge when every unit across all shards is terminal; an incomplete
+	// campaign (interrupted, or other shards still running) leaves the
+	// previous merge untouched.
+	if _, err := Merge(dir); err == nil {
+		sum.Merged = true
+	} else if !errors.Is(err, ErrIncomplete) {
+		return nil, err
+	}
+	return sum, nil
+}
+
+// runUnit executes one unit with transient retry, returning its journal
+// entry. The unit directory is wiped before each attempt so artifacts are
+// exactly what this execution wrote — never a blend with a dead one.
+func runUnit(ctx context.Context, u Unit, udir string, cfg exp.Config, records bool,
+	retries int, execFn func(context.Context, Unit, string, exp.Config) (UnitOutput, error),
+) (Entry, UnitOutput, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if ctx.Err() != nil {
+			return Entry{}, UnitOutput{Interrupted: true}, nil
+		}
+		if err := os.RemoveAll(udir); err != nil {
+			lastErr = supervise.Transient(err)
+		} else if err := os.MkdirAll(udir, 0o755); err != nil {
+			lastErr = supervise.Transient(err)
+		} else {
+			if records {
+				cfg.OutDir = filepath.Join(udir, "records")
+			}
+			out, err := execSafe(ctx, u, udir, cfg, execFn)
+			if err == nil {
+				if out.Interrupted {
+					return Entry{}, out, nil
+				}
+				digest, derr := digestDir(udir)
+				if derr != nil {
+					return Entry{}, UnitOutput{}, fmt.Errorf("campaign: digesting %s: %w", udir, derr)
+				}
+				return Entry{
+					ID: u.ID(), Status: StatusDone, Digest: digest,
+					Events: out.Events, Attempts: attempt,
+				}, out, nil
+			}
+			lastErr = err
+		}
+		if supervise.IsTransient(lastErr) && attempt <= retries {
+			time.Sleep(backoff(attempt))
+			continue
+		}
+		// Permanent failure: quarantine the unit. Its stanza in the merged
+		// results degrades to a note, mirroring how exp.Config.Sup drops a
+		// failed row inside a figure.
+		return Entry{
+			ID: u.ID(), Status: StatusQuarantined,
+			Attempts: attempt, Note: lastErr.Error(),
+		}, UnitOutput{}, nil
+	}
+}
+
+// execSafe invokes the unit executor with a panic guard: an escaped panic
+// becomes the unit's quarantine note instead of killing the campaign.
+func execSafe(ctx context.Context, u Unit, udir string, cfg exp.Config,
+	execFn func(context.Context, Unit, string, exp.Config) (UnitOutput, error),
+) (out UnitOutput, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return execFn(ctx, u, udir, cfg)
+}
+
+// backoff is the capped exponential delay before transient retry attempt
+// (1-based).
+func backoff(attempt int) time.Duration {
+	d := 100 * time.Millisecond << (attempt - 1)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	return d
+}
+
+// execUnit is the production unit executor: it runs the unit's figure at
+// the unit's seed and writes the rendered table as the unit's deterministic
+// artifact (plus obsv records when cfg.OutDir is set).
+func execUnit(ctx context.Context, u Unit, udir string, cfg exp.Config) (UnitOutput, error) {
+	e, ok := exp.Lookup(u.Experiment)
+	if !ok {
+		// Expand validated the spec; reaching this means the manifest names
+		// an experiment this build no longer has.
+		return UnitOutput{}, fmt.Errorf("campaign: experiment %q unknown to this build", u.Experiment)
+	}
+	res := e.Run(cfg)
+	if res.Interrupted {
+		return UnitOutput{Interrupted: true}, nil
+	}
+	if err := os.WriteFile(filepath.Join(udir, "table.txt"), []byte(res.String()), 0o644); err != nil {
+		return UnitOutput{}, supervise.Transient(err)
+	}
+	return UnitOutput{Events: res.Events}, nil
+}
+
+// digestDir hashes every regular file under dir (relative path, size and
+// content, in sorted path order) into a stable identity for the unit's
+// artifacts. The journal stores it at checkpoint; resume recomputes it so
+// stale, truncated or hand-edited artifacts are re-run, not trusted.
+func digestDir(dir string) (string, error) {
+	var files []string
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			rel, rerr := filepath.Rel(dir, path)
+			if rerr != nil {
+				return rerr
+			}
+			files = append(files, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(files)
+	h := sha256.New()
+	for _, rel := range files {
+		f, err := os.Open(filepath.Join(dir, filepath.FromSlash(rel)))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00", rel)
+		_, cerr := io.Copy(h, f)
+		f.Close()
+		if cerr != nil {
+			return "", cerr
+		}
+		h.Write([]byte{0})
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}

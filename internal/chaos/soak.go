@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -139,6 +140,11 @@ type SoakConfig struct {
 	// cycling through trip and panic; soak self-test mode.
 	Inject int
 	Log    func(format string, args ...any) // nil = silent
+	// Ctx stops the campaign cooperatively: once cancelled, no further
+	// scenarios are dispatched, in-flight ones drain, and the result (with
+	// Interrupted set) covers exactly the scenarios that ran. Nil means
+	// never cancelled.
+	Ctx context.Context
 }
 
 // SoakFailure is one quarantined scenario of a campaign.
@@ -160,6 +166,9 @@ type SoakResult struct {
 	Counts    supervise.Counts      `json:"counts"`
 	Failures  []SoakFailure         `json:"failures,omitempty"`
 	Sup       *supervise.Supervisor `json:"-"`
+	// Interrupted: the campaign was cancelled before finishing; Scenarios
+	// counts only the runs that actually executed.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // Failed reports whether any scenario was quarantined.
@@ -185,17 +194,24 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	budget := supervise.Budget{Wall: cfg.Timeout, Events: cfg.MaxEvents}
 	sup := supervise.New(budget)
 	res := &SoakResult{Sup: sup}
 
-	runBatch := func(start, n int) []SoakFailure {
+	// runBatch executes scenarios [start, start+n) and reports their
+	// failures plus how many actually ran (cancellation skips the rest).
+	runBatch := func(start, n int) ([]SoakFailure, int) {
 		type slot struct {
 			rep supervise.Report
 			sc  Scenario
+			ran bool
 		}
 		slots := make([]slot, n)
-		runner.MapErr(cfg.Workers, n, func(i int) (struct{}, error) {
+		runner.MapErrCtx(ctx, cfg.Workers, n, func(i int) (struct{}, error) {
 			sc := GenerateAt(cfg.Seed, start+i)
 			cfg.applyInjection(&sc, start+i)
 			rep := sup.Run(supervise.RunID{
@@ -203,11 +219,16 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 				Scenario: fmt.Sprintf("chaos[%d]", start+i),
 				Phase:    "chaos",
 			}, func(wd *supervise.Watchdog) error { return sc.Run(wd) })
-			slots[i] = slot{rep: rep, sc: sc}
+			slots[i] = slot{rep: rep, sc: sc, ran: true}
 			return struct{}{}, nil
 		})
+		ran := 0
 		var fails []SoakFailure
 		for i, sl := range slots {
+			if !sl.ran {
+				continue
+			}
+			ran++
 			if !sl.rep.Outcome.Failed() {
 				continue
 			}
@@ -246,27 +267,30 @@ func Soak(cfg SoakConfig) (*SoakResult, error) {
 			}
 			fails = append(fails, f)
 		}
-		return fails
+		return fails, ran
 	}
 
 	switch {
 	case cfg.Count > 0:
-		res.Scenarios = cfg.Count
-		res.Failures = runBatch(0, cfg.Count)
+		fails, ran := runBatch(0, cfg.Count)
+		res.Failures = fails
+		res.Scenarios = ran
 	case cfg.Duration > 0:
 		batch := cfg.Workers * 4
 		if batch < 8 {
 			batch = 8
 		}
 		deadline := time.Now().Add(cfg.Duration)
-		for start := 0; time.Now().Before(deadline); start += batch {
-			res.Failures = append(res.Failures, runBatch(start, batch)...)
-			res.Scenarios = start + batch
+		for start := 0; time.Now().Before(deadline) && ctx.Err() == nil; start += batch {
+			fails, ran := runBatch(start, batch)
+			res.Failures = append(res.Failures, fails...)
+			res.Scenarios += ran
 		}
 	default:
 		return nil, fmt.Errorf("chaos: soak needs a Count or a Duration")
 	}
 	res.Counts = sup.Counts()
+	res.Interrupted = ctx.Err() != nil
 	return res, nil
 }
 

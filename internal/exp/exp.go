@@ -10,6 +10,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -58,6 +59,12 @@ type Config struct {
 	// Nil keeps the historical fail-fast behaviour: the first panic
 	// propagates to the caller.
 	Sup *supervise.Supervisor
+	// Ctx, when set, lets the caller stop a figure mid-flight: once it is
+	// cancelled the pool dispatches no further runs, in-flight runs drain
+	// to completion (their records flush normally), and every skipped run
+	// drops its row with a note and marks the Result Interrupted. Nil runs
+	// to completion (context.Background).
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -84,9 +91,17 @@ func (c Config) withDefaults() Config {
 // deterministic note on res, ordered by index regardless of Workers. With
 // cfg.Sup nil, the first captured panic is re-raised — the historical
 // fail-fast contract the test suite relies on.
+//
+// With cfg.Ctx cancelled, runs the pool never started are skipped: each
+// drops its row with a note and the Result is marked Interrupted, so a
+// campaign knows the table is partial and must not checkpoint it.
 func runPar[T any](cfg Config, res *Result, n int, fn func(i int, wd *supervise.Watchdog) T) []T {
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Sup == nil {
-		out, errs := runner.MapErr(cfg.Workers, n, func(i int) (T, error) {
+		out, errs := runner.MapErrCtx(ctx, cfg.Workers, n, func(i int) (T, error) {
 			return fn(i, nil), nil
 		})
 		for _, err := range errs {
@@ -95,10 +110,11 @@ func runPar[T any](cfg Config, res *Result, n int, fn func(i int, wd *supervise.
 				panic(pe.Value)
 			}
 		}
+		noteSkipped(res, errs)
 		return out
 	}
 	reports := make([]supervise.Report, n)
-	out, _ := runner.MapErr(cfg.Workers, n, func(i int) (T, error) {
+	out, errs := runner.MapErrCtx(ctx, cfg.Workers, n, func(i int) (T, error) {
 		var v T
 		rep := cfg.Sup.Run(supervise.RunID{
 			Seed:     cfg.Seed,
@@ -116,12 +132,28 @@ func runPar[T any](cfg Config, res *Result, n int, fn func(i int, wd *supervise.
 		return v, nil
 	})
 	for i, rep := range reports {
+		if errs != nil && errors.Is(errs[i], runner.ErrSkipped) {
+			continue // noted below, no report exists
+		}
 		if rep.Outcome.Failed() {
 			res.Notes = append(res.Notes,
 				fmt.Sprintf("run %s[%d] %s: %s", res.ID, i, rep.Outcome, rep.Err.Msg))
 		}
 	}
+	noteSkipped(res, errs)
 	return out
+}
+
+// noteSkipped marks the Result interrupted and notes every run the pool
+// skipped after cancellation, in index order.
+func noteSkipped(res *Result, errs []error) {
+	for i, err := range errs {
+		if errors.Is(err, runner.ErrSkipped) {
+			res.Interrupted = true
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("run %s[%d] skipped: interrupted before start", res.ID, i))
+		}
+	}
 }
 
 // scaled returns n scaled down, never below min.
@@ -176,6 +208,11 @@ type Result struct {
 	// the experiment; cmd/mptcp-bench reports it (with wall-clock) in the
 	// BENCH JSON. It is not part of the rendered table.
 	Events uint64
+	// Interrupted reports that Config.Ctx was cancelled before every run
+	// of the figure was dispatched: the table is missing rows (each noted)
+	// and must not be treated as the figure's deterministic output —
+	// campaigns re-run interrupted units instead of checkpointing them.
+	Interrupted bool
 }
 
 // AddRow appends a formatted row.

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mptcpsim/internal/supervise"
+)
+
+// A figure run under an already-cancelled context must dispatch nothing,
+// mark the Result interrupted and note every skipped run — the signal a
+// resumable campaign uses to refuse checkpointing a partial table.
+func TestFigureInterruptedBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, sup := range []*supervise.Supervisor{nil, supervise.New(supervise.Budget{})} {
+		res := Fig1(Config{Seed: 1, Scale: 0.05, Workers: 2, Sup: sup, Ctx: ctx})
+		if !res.Interrupted {
+			t.Fatalf("sup=%v: cancelled figure not marked Interrupted", sup != nil)
+		}
+		if len(res.Rows) != 0 {
+			t.Fatalf("sup=%v: cancelled figure produced %d rows", sup != nil, len(res.Rows))
+		}
+		var skipped int
+		for _, n := range res.Notes {
+			if strings.Contains(n, "skipped: interrupted") {
+				skipped++
+			}
+		}
+		if skipped != 5 { // Fig1 has five runs
+			t.Fatalf("sup=%v: %d skip notes, want 5 (notes: %v)", sup != nil, skipped, res.Notes)
+		}
+	}
+}
+
+// A nil or background context must not change a figure's output: the
+// historical Config zero value keeps producing the byte-identical table.
+func TestFigureBackgroundCtxIdentical(t *testing.T) {
+	base := Fig1(Config{Seed: 1, Scale: 0.05, Workers: 1})
+	withCtx := Fig1(Config{Seed: 1, Scale: 0.05, Workers: 1, Ctx: context.Background()})
+	if base.String() != withCtx.String() {
+		t.Fatalf("background ctx changed the table:\n%s\nvs\n%s", base, withCtx)
+	}
+	if base.Interrupted || withCtx.Interrupted {
+		t.Fatal("uncancelled figure marked Interrupted")
+	}
+}

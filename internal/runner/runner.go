@@ -10,6 +10,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -21,6 +23,13 @@ import (
 // one worker per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// ErrSkipped marks an index that was never started because the context was
+// cancelled before the pool reached it. Callers distinguish "this run
+// failed" from "this run never happened and is safe to re-dispatch later"
+// with errors.Is(err, ErrSkipped) — the distinction resumable campaigns
+// are built on.
+var ErrSkipped = errors.New("runner: skipped after cancellation")
+
 // Map runs fn(0) … fn(n-1) across at most workers goroutines and returns
 // the results ordered by index. fn must be safe to call concurrently with
 // itself on distinct indices (for simulation runs: build your own engine,
@@ -31,8 +40,22 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // A panic in any fn is re-raised on the calling goroutine once the other
 // workers have drained, so figure runners keep their fail-fast behaviour.
 func Map[T any](workers, n int, fn func(i int) T) []T {
+	out, _ := MapCtx(context.Background(), workers, n, fn)
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is cancelled no new
+// index is dispatched, but indices already running finish normally and keep
+// their results — a draining stop, never an abandoning one. The second
+// return reports per index whether fn ran: done[i] is false only for
+// indices skipped by cancellation (done is nil when every index ran, so the
+// uncancelled path allocates nothing extra).
+//
+// Like Map, a panic is re-raised after the pool drains; cancellation does
+// not suppress it.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) T) ([]T, []bool) {
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
 	if workers <= 0 {
 		workers = DefaultWorkers()
@@ -41,11 +64,30 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 		workers = n
 	}
 	out := make([]T, n)
+	var (
+		skippedMu sync.Mutex
+		done      []bool
+	)
+	skip := func(i int) {
+		skippedMu.Lock()
+		if done == nil {
+			done = make([]bool, n)
+			for j := range done {
+				done[j] = true
+			}
+		}
+		done[i] = false
+		skippedMu.Unlock()
+	}
 	if workers == 1 {
 		for i := range out {
+			if ctx.Err() != nil {
+				skip(i)
+				continue
+			}
 			out[i] = fn(i)
 		}
-		return out
+		return out, done
 	}
 
 	var (
@@ -62,6 +104,10 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 				if i >= n {
 					return
 				}
+				if ctx.Err() != nil || panicked.Load() != nil {
+					skip(i)
+					continue
+				}
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
@@ -70,9 +116,6 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 					}()
 					out[i] = fn(i)
 				}()
-				if panicked.Load() != nil {
-					return
-				}
 			}
 		}()
 	}
@@ -80,7 +123,7 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 	if pv := panicked.Load(); pv != nil {
 		panic(pv.(*panicValue).v)
 	}
-	return out
+	return out, done
 }
 
 // panicValue wraps a recovered value so a nil panic payload still registers
@@ -109,6 +152,16 @@ func (e *PanicError) Error() string {
 // is the reference for the determinism tests; panics are captured in every
 // mode so the two paths stay behaviour-identical.
 func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error) {
+	return MapErrCtx(context.Background(), workers, n, fn)
+}
+
+// MapErrCtx is MapErr with cooperative cancellation: once ctx is cancelled
+// no new index is dispatched — indices already running finish and keep
+// their results and errors, and every index that never started gets
+// errs[i] satisfying errors.Is(err, ErrSkipped). A skipped index is not a
+// failed run: it is safe to re-dispatch on a later attempt, which is how
+// a resumable campaign drains in-flight work on SIGINT without losing it.
+func MapErrCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, []error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -132,6 +185,10 @@ func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, []error) {
 		errsMu.Unlock()
 	}
 	one := func(i int) {
+		if ctx.Err() != nil {
+			setErr(i, fmt.Errorf("%w: %w", ErrSkipped, context.Cause(ctx)))
+			return
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				setErr(i, &PanicError{Index: i, Value: r, Stack: debug.Stack()})

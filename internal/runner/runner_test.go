@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -163,5 +164,102 @@ func TestFirstErr(t *testing.T) {
 	sentinel := errors.New("x")
 	if err := FirstErr([]error{nil, sentinel, errors.New("y")}); err != sentinel {
 		t.Errorf("FirstErr = %v, want the first non-nil error", err)
+	}
+}
+
+func TestMapErrCtxSkipsAfterCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n = 64
+		var started atomic.Int32
+		// Cancel once a handful of indices have started; every index that
+		// never ran must come back as ErrSkipped, and every started index
+		// must keep its real result.
+		out, errs := MapErrCtx(ctx, workers, n, func(i int) (int, error) {
+			if started.Add(1) == int32(workers) {
+				cancel()
+			}
+			return i + 1, nil
+		})
+		cancel()
+		var ran, skipped int
+		for i := 0; i < n; i++ {
+			if errs != nil && errs[i] != nil {
+				if !errors.Is(errs[i], ErrSkipped) {
+					t.Fatalf("workers=%d: errs[%d] = %v, want ErrSkipped", workers, i, errs[i])
+				}
+				if !errors.Is(errs[i], context.Canceled) {
+					t.Fatalf("workers=%d: errs[%d] does not wrap the cancellation cause", workers, i)
+				}
+				if out[i] != 0 {
+					t.Fatalf("workers=%d: skipped index %d has result %d", workers, i, out[i])
+				}
+				skipped++
+				continue
+			}
+			if out[i] != i+1 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i+1)
+			}
+			ran++
+		}
+		if skipped == 0 {
+			t.Fatalf("workers=%d: cancellation skipped nothing (ran=%d)", workers, ran)
+		}
+		if int(started.Load()) != ran {
+			t.Fatalf("workers=%d: %d fns started but %d results kept", workers, started.Load(), ran)
+		}
+	}
+}
+
+func TestMapErrCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, errs := MapErrCtx(ctx, 4, 8, func(i int) (int, error) {
+		t.Errorf("fn(%d) ran under a cancelled context", i)
+		return 0, nil
+	})
+	if len(out) != 8 || errs == nil {
+		t.Fatalf("got %d results, errs=%v", len(out), errs)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, ErrSkipped) {
+			t.Fatalf("errs[%d] = %v, want ErrSkipped", i, err)
+		}
+	}
+}
+
+func TestMapCtxDoneFlags(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		out, done := MapCtx(ctx, workers, 32, func(i int) int {
+			if started.Add(1) == int32(workers) {
+				cancel()
+			}
+			return i
+		})
+		cancel()
+		if done == nil {
+			t.Fatalf("workers=%d: cancellation reported no skipped indices", workers)
+		}
+		var ran int
+		for i, ok := range done {
+			if ok {
+				if out[i] != i {
+					t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], i)
+				}
+				ran++
+			}
+		}
+		if ran != int(started.Load()) {
+			t.Fatalf("workers=%d: done flags %d but %d fns started", workers, ran, started.Load())
+		}
+	}
+}
+
+func TestMapCtxUncancelledAllocatesNoDoneSlice(t *testing.T) {
+	_, done := MapCtx(context.Background(), 4, 16, func(i int) int { return i })
+	if done != nil {
+		t.Fatalf("uncancelled MapCtx returned done flags: %v", done)
 	}
 }

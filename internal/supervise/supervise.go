@@ -374,6 +374,16 @@ type ExitCodeError struct {
 
 func (e *ExitCodeError) Error() string { return e.Msg }
 
-// ExitQuarantined is the conventional exit code for "the campaign finished
-// but quarantined at least one run".
-const ExitQuarantined = 3
+// Process exit codes shared by both CLIs (0 is success, 1 a usage or hard
+// error). They are distinct so wrappers — CI, the resume smoke test, shard
+// drivers — can branch on the kind of non-success without parsing output.
+const (
+	// ExitQuarantined: the campaign finished but quarantined at least one
+	// run; the printed tables are valid partial results.
+	ExitQuarantined = 3
+	// ExitInterrupted: a SIGINT/SIGTERM stopped the invocation early.
+	// In-flight runs were drained and every open writer (obsv records,
+	// campaign journal) was flushed, so a campaign directory is resumable
+	// with -resume exactly as it stands.
+	ExitInterrupted = 4
+)

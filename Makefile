@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine experiments full validate soak campaign resume-smoke clean
+.PHONY: all build vet test race bench bench-engine bench-diff experiments full validate soak campaign resume-smoke clean
 
 all: build vet test race
 
@@ -25,6 +25,16 @@ bench:
 # Engine microbenchmarks only: must report 0 allocs/op.
 bench-engine:
 	$(GO) test ./internal/sim/ -run '^$$' -bench Engine -benchtime 200ms
+
+# Regression gate: compare a fresh BENCH JSON (BENCH=<file>) against the
+# committed baseline, failing if any shared experiment's events/sec
+# dropped more than 10%. BENCH_ALLOW exempts comma-separated experiments
+# from the gate (still reported) for known, accepted slowdowns:
+#   make bench-diff BENCH=BENCH_20260808T...json BENCH_ALLOW=fig6
+BENCH_BASE ?= BENCH_seed.json
+BENCH_ALLOW ?=
+bench-diff:
+	$(GO) run ./cmd/bench-diff -old $(BENCH_BASE) -new $(BENCH) -allow "$(BENCH_ALLOW)"
 
 # Refresh the recorded tables in EXPERIMENTS.md (scale 0.15, seed 1).
 experiments:

@@ -1,0 +1,139 @@
+// Command bench-diff gates performance regressions: it compares the per-experiment
+// events/sec of a freshly produced BENCH JSON against a committed baseline
+// and exits non-zero when any experiment present in both regressed by more
+// than the threshold. Experiments named in -allow are still reported but
+// never fatal — the escape hatch for known, accepted slowdowns (wired
+// through the Makefile's BENCH_ALLOW variable and the CI bench job).
+//
+// Two baseline schemas are understood, because the committed BENCH_seed.json
+// predates the meta/payload split:
+//
+//	flat:  {"experiments": [{"experiment": ..., "events_per_sec": ...}]}
+//	split: {"meta": {"timings": [{"experiment": ..., "events_per_sec": ...}]}}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type timing struct {
+	Experiment   string  `json:"experiment"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchFile matches both schemas at once; whichever list is populated wins
+// (the flat schema has no "meta" key, the split schema no "experiments").
+type benchFile struct {
+	Experiments []timing `json:"experiments"`
+	Meta        struct {
+		Timings []timing `json:"timings"`
+	} `json:"meta"`
+}
+
+// load reads one BENCH JSON in either schema and returns experiment →
+// events/sec, preserving first-seen order in the returned slice of names.
+func load(path string) (map[string]float64, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	timings := f.Experiments
+	if len(timings) == 0 {
+		timings = f.Meta.Timings
+	}
+	if len(timings) == 0 {
+		return nil, nil, fmt.Errorf("%s: no experiment timings (neither \"experiments\" nor \"meta.timings\")", path)
+	}
+	rates := make(map[string]float64, len(timings))
+	var order []string
+	for _, t := range timings {
+		if t.Experiment == "" || t.EventsPerSec <= 0 {
+			return nil, nil, fmt.Errorf("%s: bad timing entry %+v", path, t)
+		}
+		if _, dup := rates[t.Experiment]; !dup {
+			order = append(order, t.Experiment)
+		}
+		rates[t.Experiment] = t.EventsPerSec
+	}
+	return rates, order, nil
+}
+
+func parseAllow(s string) map[string]bool {
+	allow := make(map[string]bool)
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			allow[name] = true
+		}
+	}
+	return allow
+}
+
+func run(oldPath, newPath string, maxRegress float64, allow map[string]bool, out *strings.Builder) (failed []string, err error) {
+	oldRates, _, err := load(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newRates, newOrder, err := load(newPath)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "%-12s %14s %14s %8s\n", "experiment", "base ev/s", "new ev/s", "ratio")
+	compared := 0
+	for _, name := range newOrder {
+		base, ok := oldRates[name]
+		if !ok {
+			fmt.Fprintf(out, "%-12s %14s %14.0f %8s  (not in baseline, skipped)\n", name, "-", newRates[name], "-")
+			continue
+		}
+		compared++
+		ratio := newRates[name] / base
+		note := ""
+		if ratio < 1-maxRegress {
+			if allow[name] {
+				note = fmt.Sprintf("  REGRESSED >%g%% (allowed)", maxRegress*100)
+			} else {
+				note = fmt.Sprintf("  REGRESSED >%g%%", maxRegress*100)
+				failed = append(failed, name)
+			}
+		}
+		fmt.Fprintf(out, "%-12s %14.0f %14.0f %7.2fx%s\n", name, base, newRates[name], ratio, note)
+	}
+	if compared == 0 {
+		return nil, fmt.Errorf("no experiment appears in both %s and %s", oldPath, newPath)
+	}
+	return failed, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_seed.json", "baseline BENCH JSON (flat or meta/payload schema)")
+	newPath := flag.String("new", "", "freshly produced BENCH JSON to gate")
+	maxRegress := flag.Float64("max-regress", 0.10, "fatal fractional events/sec regression (0.10 = 10%)")
+	allowFlag := flag.String("allow", "", "comma-separated experiments exempt from the gate")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "bench-diff: -new is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var out strings.Builder
+	failed, err := run(*oldPath, *newPath, *maxRegress, parseAllow(*allowFlag), &out)
+	os.Stdout.WriteString(out.String())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-diff: %v\n", err)
+		os.Exit(2)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "bench-diff: events/sec regressed >%g%% on: %s\n",
+			*maxRegress*100, strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+	fmt.Println("bench-diff: OK")
+}

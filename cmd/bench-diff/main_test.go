@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// flatBase is the committed BENCH_seed.json schema (pre meta/payload split).
+const flatBase = `{"scale":0.25,"experiments":[
+	{"experiment":"fig1","wall_seconds":0.6,"events":600000,"events_per_sec":1000000},
+	{"experiment":"fig3a","wall_seconds":0.5,"events":1000000,"events_per_sec":2000000}]}`
+
+func splitNew(fig1, fig3a float64) string {
+	return fmt.Sprintf(`{"meta":{"timings":[
+		{"experiment":"fig1","events_per_sec":%g},
+		{"experiment":"fig3a","events_per_sec":%g},
+		{"experiment":"fig6","events_per_sec":5000000}]},"payload":{}}`, fig1, fig3a)
+}
+
+func TestNoRegressionPasses(t *testing.T) {
+	old := writeFile(t, "old.json", flatBase)
+	niu := writeFile(t, "new.json", splitNew(1200000, 1900000)) // fig3a -5%: inside 10%
+	var out strings.Builder
+	failed, err := run(old, niu, 0.10, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("unexpected failures %v\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "not in baseline, skipped") {
+		t.Errorf("fig6 (baseline-only miss) should be reported as skipped:\n%s", out.String())
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	old := writeFile(t, "old.json", flatBase)
+	niu := writeFile(t, "new.json", splitNew(1200000, 1700000)) // fig3a -15%
+	var out strings.Builder
+	failed, err := run(old, niu, 0.10, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != "fig3a" {
+		t.Fatalf("want [fig3a] failed, got %v\n%s", failed, out.String())
+	}
+}
+
+func TestAllowListExemptsExperiment(t *testing.T) {
+	old := writeFile(t, "old.json", flatBase)
+	niu := writeFile(t, "new.json", splitNew(1200000, 1700000))
+	var out strings.Builder
+	failed, err := run(old, niu, 0.10, parseAllow(" fig3a , "), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("allow-listed regression must not fail, got %v", failed)
+	}
+	if !strings.Contains(out.String(), "(allowed)") {
+		t.Errorf("allowed regression should still be reported:\n%s", out.String())
+	}
+}
+
+func TestBothSchemasLoad(t *testing.T) {
+	// flat vs flat and split vs split must also work, not just mixed.
+	flat := writeFile(t, "flat.json", flatBase)
+	split := writeFile(t, "split.json", splitNew(1000000, 2000000))
+	for _, tc := range [][2]string{{flat, flat}, {split, split}, {split, flat}} {
+		var out strings.Builder
+		if failed, err := run(tc[0], tc[1], 0.10, nil, &out); err != nil || len(failed) != 0 {
+			t.Fatalf("run(%s, %s): failed=%v err=%v", tc[0], tc[1], failed, err)
+		}
+	}
+}
+
+func TestDisjointExperimentSetsError(t *testing.T) {
+	old := writeFile(t, "old.json", flatBase)
+	niu := writeFile(t, "new.json",
+		`{"meta":{"timings":[{"experiment":"fig17","events_per_sec":1}]}}`)
+	var out strings.Builder
+	if _, err := run(old, niu, 0.10, nil, &out); err == nil {
+		t.Fatal("disjoint experiment sets should be an error, not a silent pass")
+	}
+}
+
+func TestEmptyTimingsError(t *testing.T) {
+	path := writeFile(t, "empty.json", `{"payload":{}}`)
+	if _, _, err := load(path); err == nil {
+		t.Fatal("file with no timings should fail to load")
+	}
+}

@@ -66,9 +66,10 @@ func (s Spec) withDefaults() Spec {
 }
 
 // Unit is one schedulable run identity. The Algorithm and Scenario axes
-// are part of the stable ID scheme; today every figure expands its
-// algorithm × scenario grid internally (recorded per run in the unit's
-// obsv records), so campaign-level units carry "all" there.
+// are pinned to the figure's declared splittable values (exp.Experiment
+// .Algorithms/.Scenarios), so shards and resume checkpoints split within a
+// figure; a figure that declares no axis (or couples runs across it) keeps
+// the coarse "all" unit covering its whole internal grid.
 type Unit struct {
 	Experiment string `json:"experiment"`
 	Algorithm  string `json:"algorithm"`
@@ -95,8 +96,12 @@ type Manifest struct {
 }
 
 // Expand validates the spec and expands it into the manifest: experiments
-// in spec order × seeds in spec order. The expansion is the merge order,
-// fixed here once — scheduling never reorders it.
+// in spec order × the figure's declared scenario axis × its declared
+// algorithm axis × seeds in spec order (undeclared axes stay "all", one
+// unit covering the figure's whole internal grid). Scenario-major order
+// mirrors the figures' own row order, so the merged results read the same
+// as an unsplit table. The expansion is the merge order, fixed here once —
+// scheduling never reorders it.
 func Expand(spec Spec) (*Manifest, error) {
 	spec = spec.withDefaults()
 	if len(spec.Experiments) == 0 {
@@ -105,17 +110,29 @@ func Expand(spec Spec) (*Manifest, error) {
 	seen := make(map[string]bool)
 	m := &Manifest{Version: ManifestVersion, Spec: spec}
 	for _, id := range spec.Experiments {
-		if _, ok := exp.Lookup(id); !ok {
+		e, ok := exp.Lookup(id)
+		if !ok {
 			return nil, fmt.Errorf("campaign: unknown experiment %q", id)
 		}
 		if seen[id] {
 			return nil, fmt.Errorf("campaign: experiment %q listed twice", id)
 		}
 		seen[id] = true
-		for _, seed := range spec.Seeds {
-			m.Units = append(m.Units, Unit{
-				Experiment: id, Algorithm: "all", Scenario: "all", Seed: seed,
-			})
+		algs, scenarios := e.Algorithms, e.Scenarios
+		if len(algs) == 0 {
+			algs = []string{"all"}
+		}
+		if len(scenarios) == 0 {
+			scenarios = []string{"all"}
+		}
+		for _, scenario := range scenarios {
+			for _, alg := range algs {
+				for _, seed := range spec.Seeds {
+					m.Units = append(m.Units, Unit{
+						Experiment: id, Algorithm: alg, Scenario: scenario, Seed: seed,
+					})
+				}
+			}
 		}
 	}
 	return m, nil

@@ -39,6 +39,68 @@ func TestExpandManifestOrderAndValidation(t *testing.T) {
 	}
 }
 
+// TestExpandSplitsDeclaredAxes pins the finer-grained expansion: a figure
+// that declares algorithm/scenario axes gets one unit per (scenario,
+// algorithm, seed) cell, scenario-major to mirror the figure's own row
+// order, while undeclared figures keep the coarse "all" unit.
+func TestExpandSplitsDeclaredAxes(t *testing.T) {
+	faultsExp, ok := exp.Lookup("faults")
+	if !ok {
+		t.Fatal("faults experiment not registered")
+	}
+	if len(faultsExp.Algorithms) == 0 || len(faultsExp.Scenarios) == 0 {
+		t.Fatal("faults declares no splittable axes; this test expects both")
+	}
+
+	m, err := Expand(Spec{Experiments: []string{"faults", "fig1"}, Seeds: []int64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFaults := len(faultsExp.Scenarios) * len(faultsExp.Algorithms) * 2
+	if got := len(m.Units); got != wantFaults+2 {
+		t.Fatalf("expanded %d units, want %d faults cells + 2 coarse fig1 units", got, wantFaults)
+	}
+	if id := m.Units[0].ID(); id != "faults_ewtcp_outage_seed1" {
+		t.Errorf("first unit %s, want faults_ewtcp_outage_seed1 (scenario-major, alg, then seed)", id)
+	}
+	if id := m.Units[1].ID(); id != "faults_ewtcp_outage_seed2" {
+		t.Errorf("second unit %s, want faults_ewtcp_outage_seed2 (seeds innermost)", id)
+	}
+	if id := m.Units[2].ID(); id != "faults_coupled_outage_seed1" {
+		t.Errorf("third unit %s, want faults_coupled_outage_seed1 (algorithms before scenarios)", id)
+	}
+	if id := m.Units[wantFaults].ID(); id != "fig1_all_all_seed1" {
+		t.Errorf("first fig1 unit %s, want coarse fig1_all_all_seed1", id)
+	}
+
+	// The pinned axes reach the unit's exp.Config; the coarse sentinel
+	// must not (an "all" filter would select nothing).
+	var mu sync.Mutex
+	cfgs := map[string]exp.Config{}
+	fe := func(ctx context.Context, u Unit, udir string, cfg exp.Config) (UnitOutput, error) {
+		mu.Lock()
+		cfgs[u.ID()] = cfg
+		mu.Unlock()
+		if err := os.WriteFile(filepath.Join(udir, "table.txt"), []byte(u.ID()+"\n"), 0o644); err != nil {
+			return UnitOutput{}, supervise.Transient(err)
+		}
+		return UnitOutput{Events: 1}, nil
+	}
+	dir := t.TempDir()
+	spec := Spec{Experiments: []string{"faults", "fig1"}, Seeds: []int64{1}}
+	if _, err := Start(context.Background(), dir, spec, Options{Workers: 2, Exec: fe}); err != nil {
+		t.Fatal(err)
+	}
+	got := cfgs["faults_dts_flap_seed1"]
+	if got.Algorithm != "dts" || got.Scenario != "flap" {
+		t.Errorf("pinned unit ran with filter %q/%q, want dts/flap", got.Algorithm, got.Scenario)
+	}
+	coarse := cfgs["fig1_all_all_seed1"]
+	if coarse.Algorithm != "" || coarse.Scenario != "" {
+		t.Errorf("coarse unit ran with filter %q/%q, want empty", coarse.Algorithm, coarse.Scenario)
+	}
+}
+
 // fakeExec is a deterministic unit executor for journal/merge tests: cheap,
 // content derived only from the unit identity, and it records which units
 // ran. fail selects unit IDs that fail permanently; transientFails counts
@@ -305,6 +367,58 @@ func TestShardedCampaignMergesIdentical(t *testing.T) {
 	}
 	if gotPayload != wantPayload {
 		t.Errorf("sharded campaign.json differs from unsharded:\n%s\nwant:\n%s", gotPayload, wantPayload)
+	}
+}
+
+// TestShardedAxisSplitCampaignMergesIdentical is the sharded-merge
+// equivalence guarantee at the finer unit grain: a figure split into
+// per-(scenario, algorithm) units merges to byte-identical outputs across
+// any shard count, including shard counts that cut through the middle of
+// one figure's cells.
+func TestShardedAxisSplitCampaignMergesIdentical(t *testing.T) {
+	spec := Spec{Experiments: []string{"faults", "fig1"}, Seeds: []int64{1, 2}}
+	m, err := Expand(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Units) <= 10 {
+		t.Fatalf("spec expanded to only %d units; axis splitting is not in effect", len(m.Units))
+	}
+
+	ref := t.TempDir()
+	fe := &fakeExec{}
+	if sum, err := Start(context.Background(), ref, spec, Options{Workers: 2, Exec: fe.exec}); err != nil || !sum.Merged {
+		t.Fatalf("reference campaign: sum=%+v err=%v", sum, err)
+	}
+	wantResults, wantPayload := mustOutputs(t, ref)
+	for _, u := range m.Units {
+		if !strings.Contains(wantResults, u.ID()) {
+			t.Fatalf("merged results missing unit %s", u.ID())
+		}
+	}
+
+	const shards = 5 // does not divide 50 units evenly: shards own ragged slices of the faults grid
+	dir := t.TempDir()
+	var lastSum *Summary
+	for shard := 0; shard < shards; shard++ {
+		fs := &fakeExec{}
+		sum, err := Start(context.Background(), dir, spec, Options{
+			Workers: 2, Exec: fs.exec, Shard: Shard{Index: shard, Count: shards},
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		lastSum = sum
+	}
+	if !lastSum.Merged {
+		t.Fatal("final shard did not merge")
+	}
+	gotResults, gotPayload := mustOutputs(t, dir)
+	if gotResults != wantResults {
+		t.Errorf("axis-split sharded results.txt differs from unsharded")
+	}
+	if gotPayload != wantPayload {
+		t.Errorf("axis-split sharded campaign.json differs from unsharded")
 	}
 }
 

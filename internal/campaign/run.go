@@ -188,6 +188,15 @@ func run(ctx context.Context, dir string, m *Manifest, opt Options) (*Summary, e
 			Workers: 1, Check: m.Spec.Check, Sup: runSup, Ctx: ctx,
 			SampleInterval: opt.SampleInterval,
 		}
+		// A pinned axis value narrows the figure to this unit's slice; the
+		// sentinel "all" (undeclared axis, or a manifest from before the
+		// axis was declared) leaves the filter off.
+		if u.Algorithm != "all" {
+			cfg.Algorithm = u.Algorithm
+		}
+		if u.Scenario != "all" {
+			cfg.Scenario = u.Scenario
+		}
 		entry, out, uerr := runUnit(ctx, u, u.Dir(dir), cfg, m.Spec.Records, opt.Retries, execFn)
 		mu.Lock()
 		defer mu.Unlock()

@@ -98,6 +98,16 @@ type Introspector interface {
 	Introspect(flows []View, r int) map[string]float64
 }
 
+// IntrospectorInto is an optional extension of Introspector: the same
+// component map written into a caller-owned map instead of a freshly
+// allocated one. Samplers on the hot path reuse one map per subflow across
+// ticks, so steady-state introspection allocates nothing. Implementations
+// overwrite their stable key set and leave other keys untouched.
+type IntrospectorInto interface {
+	Introspector
+	IntrospectInto(flows []View, r int, out map[string]float64)
+}
+
 // RoundTuner is implemented by algorithms that adjust the window once per
 // RTT round rather than per ACK (wVegas — the paper's δ=1 case — and
 // DCTCP's alpha update). The transport calls OnRound at each round boundary

@@ -18,6 +18,7 @@ func benchIncrease(b *testing.B, name string) {
 	if obs, ok := alg.(AckObserver); ok {
 		obs.OnAck(flows, 0, 1, false)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var sink float64
 	for i := 0; i < b.N; i++ {

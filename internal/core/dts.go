@@ -122,17 +122,22 @@ func (*DTS) Decrease(flows []View, r int) float64 { return flows[r].Cwnd / 2 }
 // r's window growth — the RTT ratio, ε_r and the traffic-shifting parameter
 // ψ_r = c·ε_r.
 func (d *DTS) Introspect(flows []View, r int) map[string]float64 {
+	m := make(map[string]float64, 3)
+	d.IntrospectInto(flows, r, m)
+	return m
+}
+
+// IntrospectInto implements IntrospectorInto.
+func (d *DTS) IntrospectInto(flows []View, r int, out map[string]float64) {
 	f := flows[r]
 	eps := d.Eps(f)
-	return map[string]float64{
-		"rtt_ratio": rttRatio(f),
-		"eps":       eps,
-		"psi":       d.C * eps,
-	}
+	out["rtt_ratio"] = rttRatio(f)
+	out["eps"] = eps
+	out["psi"] = d.C * eps
 }
 
 var _ Algorithm = (*DTS)(nil)
-var _ Introspector = (*DTS)(nil)
+var _ IntrospectorInto = (*DTS)(nil)
 
 // DTSLIA is the "Modified LIA" variant of DTS that the paper's kernel
 // experiments plot (Fig. 8): LIA's coupled increase scaled by the Eq. 5
@@ -166,16 +171,21 @@ func (d *DTSLIA) Decrease(flows []View, r int) float64 {
 // Introspect implements Introspector: the delay factor ε_r plus the LIA
 // increase it scales.
 func (d *DTSLIA) Introspect(flows []View, r int) map[string]float64 {
+	m := make(map[string]float64, 3)
+	d.IntrospectInto(flows, r, m)
+	return m
+}
+
+// IntrospectInto implements IntrospectorInto.
+func (d *DTSLIA) IntrospectInto(flows []View, r int, out map[string]float64) {
 	f := flows[r]
-	return map[string]float64{
-		"rtt_ratio": rttRatio(f),
-		"eps":       d.dts.Eps(f),
-		"lia_inc":   d.lia.Increase(flows, r),
-	}
+	out["rtt_ratio"] = rttRatio(f)
+	out["eps"] = d.dts.Eps(f)
+	out["lia_inc"] = d.lia.Increase(flows, r)
 }
 
 var _ Algorithm = (*DTSLIA)(nil)
-var _ Introspector = (*DTSLIA)(nil)
+var _ IntrospectorInto = (*DTSLIA)(nil)
 
 // DefaultKappa is the default weight κ_s of the energy price in the
 // extended algorithm (Eq. 9), calibrated so the compensative term bends the
@@ -213,14 +223,20 @@ func (d *DTSEP) Increase(flows []View, r int) float64 {
 // Introspect implements Introspector: the DTS components plus the echoed
 // path price and the per-ACK compensative decrement φ_r it induces.
 func (d *DTSEP) Introspect(flows []View, r int) map[string]float64 {
-	m := d.DTS.Introspect(flows, r)
-	m["price"] = flows[r].Price
-	m["phi"] = d.Kappa * flows[r].Cwnd * flows[r].Price
+	m := make(map[string]float64, 5)
+	d.IntrospectInto(flows, r, m)
 	return m
 }
 
+// IntrospectInto implements IntrospectorInto.
+func (d *DTSEP) IntrospectInto(flows []View, r int, out map[string]float64) {
+	d.DTS.IntrospectInto(flows, r, out)
+	out["price"] = flows[r].Price
+	out["phi"] = d.Kappa * flows[r].Cwnd * flows[r].Price
+}
+
 var _ Algorithm = (*DTSEP)(nil)
-var _ Introspector = (*DTSEP)(nil)
+var _ IntrospectorInto = (*DTSEP)(nil)
 
 // DTSEPLIA is the extended algorithm built on the Modified-LIA variant:
 // DTSLIA's increase minus the Eq. 9 compensative term.
@@ -247,11 +263,17 @@ func (d *DTSEPLIA) Increase(flows []View, r int) float64 {
 // Introspect implements Introspector: the Modified-LIA components plus the
 // price-driven compensative decrement.
 func (d *DTSEPLIA) Introspect(flows []View, r int) map[string]float64 {
-	m := d.DTSLIA.Introspect(flows, r)
-	m["price"] = flows[r].Price
-	m["phi"] = d.Kappa * flows[r].Cwnd * flows[r].Price
+	m := make(map[string]float64, 5)
+	d.IntrospectInto(flows, r, m)
 	return m
 }
 
+// IntrospectInto implements IntrospectorInto.
+func (d *DTSEPLIA) IntrospectInto(flows []View, r int, out map[string]float64) {
+	d.DTSLIA.IntrospectInto(flows, r, out)
+	out["price"] = flows[r].Price
+	out["phi"] = d.Kappa * flows[r].Cwnd * flows[r].Price
+}
+
 var _ Algorithm = (*DTSEPLIA)(nil)
-var _ Introspector = (*DTSEPLIA)(nil)
+var _ IntrospectorInto = (*DTSEPLIA)(nil)

@@ -39,6 +39,16 @@ type Config struct {
 	// Output tables are byte-identical for every value (seeds derive from
 	// run identity, results collect by submission index).
 	Workers int
+	// Algorithm and Scenario restrict a figure to one value of its
+	// declared axis (Experiment.Algorithms / Experiment.Scenarios); empty
+	// runs the full grid. Figures that declare an axis derive every run's
+	// identity — seed, topology, record name — from the axis value alone,
+	// never from grid position, so a filtered run's rows and records are
+	// byte-identical to the same slice of an unfiltered run. Figures
+	// without a declared axis ignore the filter. Campaigns use this to
+	// schedule within-figure slices as independent resumable units.
+	Algorithm string
+	Scenario  string
 	// OutDir, when set, writes one run record per (algorithm, scenario,
 	// seed) under it: <exp>_<alg>_<scenario>_seed<N>.jsonl plus a matching
 	// .csv (see internal/obsv). Record contents derive only from each run's
@@ -275,11 +285,35 @@ func (r *Result) String() string {
 	return sb.String()
 }
 
-// Experiment couples a figure ID with its runner.
+// Experiment couples a figure ID with its runner and its splittable axes.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   func(Config) *Result
+
+	// Algorithms and Scenarios declare the figure's independently runnable
+	// axis values: the runner honors Config.Algorithm/Config.Scenario
+	// filters over them, and every run derives its identity from the axis
+	// value rather than its grid position. Empty means the axis cannot be
+	// split (the figure either has no such axis or couples runs across it,
+	// like fig17's rows computed relative to the lia baseline).
+	Algorithms []string
+	Scenarios  []string
+}
+
+// filterAxis returns the axis values a filter selects: all of them when the
+// filter is empty, the single matching value otherwise, and none when the
+// filter names a value the figure does not have.
+func filterAxis(values []string, filter string) []string {
+	if filter == "" {
+		return values
+	}
+	for _, v := range values {
+		if v == filter {
+			return []string{v}
+		}
+	}
+	return nil
 }
 
 var experiments = []Experiment{
@@ -288,7 +322,7 @@ var experiments = []Experiment{
 	{ID: "fig3a", Title: "Energy & power vs throughput, wired Ethernet", Run: Fig3a},
 	{ID: "fig3b", Title: "Energy & power vs throughput, WiFi", Run: Fig3b},
 	{ID: "fig4", Title: "CPU power vs path delay", Run: Fig4},
-	{ID: "fig6", Title: "Energy of LIA/OLIA/Balia/ecMTCP with N users (box)", Run: Fig6},
+	{ID: "fig6", Title: "Energy of LIA/OLIA/Balia/ecMTCP with N users (box)", Run: Fig6, Algorithms: fig6Algorithms},
 	{ID: "fig7", Title: "Traffic shifting under bursty cross traffic", Run: Fig7},
 	{ID: "fig8", Title: "Trace of LIA vs modified LIA (DTS)", Run: Fig8},
 	{ID: "fig9", Title: "DTS energy saving vs LIA", Run: Fig9},
@@ -299,7 +333,7 @@ var experiments = []Experiment{
 	{ID: "fig15", Title: "Extended DTS energy saving in FatTree/VL2", Run: Fig15},
 	{ID: "fig16", Title: "Aggregated throughput of DTS vs LIA in FatTree/VL2", Run: Fig16},
 	{ID: "fig17", Title: "Heterogeneous wireless: DTS/DTS-EP vs LIA", Run: Fig17},
-	{ID: "faults", Title: "Robustness: path outage, flapping and WiFi handover", Run: FigFaults},
+	{ID: "faults", Title: "Robustness: path outage, flapping and WiFi handover", Run: FigFaults, Algorithms: faultsAlgorithms, Scenarios: faultsScenarios},
 	{ID: "abl-c", Title: "Ablation: DTS constant c", Run: AblationC},
 	{ID: "abl-kappa", Title: "Ablation: Eq. 9 price weight kappa", Run: AblationKappa},
 	{ID: "abl-hystart", Title: "Ablation: slow-start delay guard", Run: AblationHystart},

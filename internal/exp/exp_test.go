@@ -190,6 +190,26 @@ func TestFig6BoxesOrdered(t *testing.T) {
 			t.Errorf("row %v: non-positive median energy", res.Rows[i])
 		}
 	}
+
+	// The declared algorithm axis: an olia-only run reproduces the full
+	// grid's olia rows byte-for-byte (campaign units split on this).
+	sliceCfg := tiny
+	sliceCfg.Algorithm = "olia"
+	slice := Fig6(sliceCfg)
+	var want [][]string
+	for _, row := range res.Rows {
+		if row[1] == "olia" {
+			want = append(want, row)
+		}
+	}
+	if len(slice.Rows) != len(want) {
+		t.Fatalf("olia slice has %d rows, want %d", len(slice.Rows), len(want))
+	}
+	for i := range want {
+		if strings.Join(slice.Rows[i], "|") != strings.Join(want[i], "|") {
+			t.Errorf("olia-slice row %d = %v, full-grid twin %v", i, slice.Rows[i], want[i])
+		}
+	}
 }
 
 func TestFig7AllAlgorithmsProduceRows(t *testing.T) {
@@ -386,6 +406,61 @@ func TestAblationPathselTradeoff(t *testing.T) {
 	}
 	if selP >= liaP {
 		t.Errorf("selector power %.2f W not below full MPTCP's %.2f W", selP, liaP)
+	}
+}
+
+// TestFaultsAxisSliceMatchesFullGrid is the contract behind the campaign's
+// finer-grained units: running one (scenario, algorithm) slice of the
+// faults suite yields rows byte-identical to the same rows of the full
+// grid, because nothing in a run's identity depends on grid position.
+func TestFaultsAxisSliceMatchesFullGrid(t *testing.T) {
+	skipIfShort(t)
+	full := FigFaults(tiny)
+
+	scenarioCfg := tiny
+	scenarioCfg.Scenario = "flap"
+	slice := FigFaults(scenarioCfg)
+	var want [][]string
+	for _, row := range full.Rows {
+		if row[0] == "flap" {
+			want = append(want, row)
+		}
+	}
+	if len(slice.Rows) != len(want) {
+		t.Fatalf("scenario slice has %d rows, want %d", len(slice.Rows), len(want))
+	}
+	for i := range want {
+		if strings.Join(slice.Rows[i], "|") != strings.Join(want[i], "|") {
+			t.Errorf("scenario-slice row %d = %v, full-grid twin %v", i, slice.Rows[i], want[i])
+		}
+	}
+
+	cellCfg := tiny
+	cellCfg.Scenario = "outage"
+	cellCfg.Algorithm = "dts"
+	one := FigFaults(cellCfg)
+	if len(one.Rows) != 1 {
+		t.Fatalf("single-cell run has %d rows, want 1", len(one.Rows))
+	}
+	for _, row := range full.Rows {
+		if row[0] == "outage" && row[1] == "dts" {
+			if strings.Join(one.Rows[0], "|") != strings.Join(row, "|") {
+				t.Errorf("single-cell row %v, full-grid twin %v", one.Rows[0], row)
+			}
+			return
+		}
+	}
+	t.Fatal("full grid has no outage/dts row")
+}
+
+// TestFilterAxisUnknownValueEmpty pins the filter's miss behaviour: a value
+// the figure does not have selects nothing (the campaign never generates
+// one, but a stale manifest must degrade to an empty table, not a panic).
+func TestFilterAxisUnknownValueEmpty(t *testing.T) {
+	cfg := tiny
+	cfg.Algorithm = "no-such-alg"
+	if res := FigFaults(cfg); len(res.Rows) != 0 {
+		t.Errorf("unknown algorithm filter produced %d rows, want 0", len(res.Rows))
 	}
 }
 

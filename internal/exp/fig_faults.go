@@ -19,6 +19,16 @@ import (
 // comparison isolates the congestion controller (failure detection and
 // re-injection are shared transport machinery).
 
+// faultsAlgorithms and faultsScenarios are the suite's axes. Both are
+// declared splittable on the Experiment (every run's seed is cfg.Seed plus
+// its repetition index, and its record name carries its own algorithm and
+// scenario — nothing depends on grid position), so a campaign can schedule
+// each (scenario, algorithm) cell as its own unit.
+var (
+	faultsAlgorithms = []string{"ewtcp", "coupled", "lia", "olia", "balia", "wvegas", "dts", "dts-lia"}
+	faultsScenarios  = []string{"outage", "flap", "handover"}
+)
+
 // faultsOutcome is one run's scoreboard.
 type faultsOutcome struct {
 	completedS  float64
@@ -130,8 +140,8 @@ func FigFaults(cfg Config) *Result {
 	}
 	horizon := cfg.scaledTime(60*sim.Second, 15*sim.Second)
 	reps := cfg.reps(3)
-	algs := []string{"ewtcp", "coupled", "lia", "olia", "balia", "wvegas", "dts", "dts-lia"}
-	scenarios := []string{"outage", "flap", "handover"}
+	algs := filterAxis(faultsAlgorithms, cfg.Algorithm)
+	scenarios := filterAxis(faultsScenarios, cfg.Scenario)
 	outs := runPar(cfg, res, len(scenarios)*len(algs)*reps, func(i int, wd *supervise.Watchdog) faultsOutcome {
 		scenario := scenarios[i/(len(algs)*reps)]
 		alg := algs[i/reps%len(algs)]

@@ -18,6 +18,9 @@ import (
 // (Figs. 7-9).
 
 // fig6Algorithms are the four TCP-friendly algorithms the paper compares.
+// The axis is declared splittable on the Experiment: every run's engine
+// seeds from cfg.Seed alone, so one algorithm's rows are byte-identical
+// whether the figure runs the full grid or a Config.Algorithm slice.
 var fig6Algorithms = []string{"lia", "olia", "balia", "ecmtcp"}
 
 // Fig6 runs N parallel MPTCP users (16 MB each) against 2N TCP users over
@@ -41,7 +44,7 @@ func Fig6(cfg Config) *Result {
 	var specs []spec
 	for _, fullN := range []int{10, 20, 50, 100} {
 		n := cfg.scaled(fullN, 4)
-		for _, alg := range fig6Algorithms {
+		for _, alg := range filterAxis(fig6Algorithms, cfg.Algorithm) {
 			specs = append(specs, spec{n: n, alg: alg})
 		}
 	}

@@ -63,7 +63,23 @@ type Conn struct {
 	// OnComplete, when set, fires once when the whole transfer is acked.
 	OnComplete func(at sim.Time)
 
-	disabled []bool // per-subflow gates (path-selection baselines)
+	// ctl is the per-subflow control block, indexed by subflow ID. One
+	// contiguous slice replaces the former parallel failed / disabled /
+	// reinjectCredit slices, so the per-ack scheduling checks touch one
+	// cache line per subflow instead of three.
+	ctl            []subCtl
+	reinjectedSegs int64
+
+	goodput *trace.RateMeter
+	views   []core.View
+}
+
+// subCtl is the per-subflow scheduling state the coordinator consults on
+// every send and ack.
+type subCtl struct {
+	// disabled gates new data (path-selection baselines suspend expensive
+	// paths); in-flight data still drains.
+	disabled bool
 
 	// Failover bookkeeping. When a subflow declares its path dead it hands
 	// back its unacked segments: sentSegs is decremented by that amount
@@ -74,12 +90,8 @@ type Conn struct {
 	// remaining credit before they count toward ackedSegs or goodput, so
 	// a segment delivered both by the revived subflow and by a re-injected
 	// copy is never counted twice.
-	failed         []bool
-	reinjectCredit []int64
-	reinjectedSegs int64
-
-	goodput *trace.RateMeter
-	views   []core.View
+	failed         bool
+	reinjectCredit int64
 }
 
 // New assembles a connection with one subflow per path. flowID tags packets
@@ -96,13 +108,12 @@ func New(eng *sim.Engine, cfg Config, flowID uint64, paths ...*netem.Path) (*Con
 		return nil, err
 	}
 	c := &Conn{
-		eng:            eng,
-		cfg:            cfg,
-		alg:            alg,
-		goodput:        trace.NewRateMeter(eng, 1),
-		views:          make([]core.View, len(paths)),
-		failed:         make([]bool, len(paths)),
-		reinjectCredit: make([]int64, len(paths)),
+		eng:     eng,
+		cfg:     cfg,
+		alg:     alg,
+		goodput: trace.NewRateMeter(eng, 1),
+		views:   make([]core.View, len(paths)),
+		ctl:     make([]subCtl, len(paths)),
 	}
 	mss := cfg.Transport.MSS
 	if mss == 0 {
@@ -160,10 +171,7 @@ func (c *Conn) AllowSend(r int) bool {
 	if c.cfg.RwndSegments > 0 && c.inflight() >= c.cfg.RwndSegments {
 		return false
 	}
-	if c.disabled != nil && c.disabled[r] {
-		return false
-	}
-	if c.failed[r] {
+	if ctl := &c.ctl[r]; ctl.disabled || ctl.failed {
 		return false
 	}
 	return true
@@ -172,10 +180,7 @@ func (c *Conn) AllowSend(r int) bool {
 // SetSubflowEnabled gates new data on subflow r (in-flight data still
 // drains). Path-selection baselines use it to suspend expensive paths.
 func (c *Conn) SetSubflowEnabled(r int, enabled bool) {
-	if c.disabled == nil {
-		c.disabled = make([]bool, len(c.subs))
-	}
-	c.disabled[r] = !enabled
+	c.ctl[r].disabled = !enabled
 	if enabled {
 		c.subs[r].Start()
 	}
@@ -183,7 +188,7 @@ func (c *Conn) SetSubflowEnabled(r int, enabled bool) {
 
 // SubflowEnabled reports whether subflow r may send new data.
 func (c *Conn) SubflowEnabled(r int) bool {
-	return c.disabled == nil || !c.disabled[r]
+	return !c.ctl[r].disabled
 }
 
 // NoteSend implements tcp.Coordinator. It is called once per unique
@@ -197,11 +202,11 @@ func (c *Conn) NoteSend(r int) { c.sentSegs++ }
 // subflow failed, so counting them again would double-book delivery.
 func (c *Conn) NoteAcked(r int, pkts int) {
 	counted := int64(pkts)
-	if disc := c.reinjectCredit[r]; disc > 0 {
+	if disc := c.ctl[r].reinjectCredit; disc > 0 {
 		if disc > counted {
 			disc = counted
 		}
-		c.reinjectCredit[r] -= disc
+		c.ctl[r].reinjectCredit -= disc
 		counted -= disc
 	}
 	if counted <= 0 {
@@ -229,17 +234,17 @@ func (c *Conn) NoteAcked(r int, pkts int) {
 // unconsumed is only charged the delta, keeping the credit equal to the
 // frozen range even across repeated fail/revive cycles.
 func (c *Conn) NoteFailed(r int, unacked int64) {
-	c.failed[r] = true
-	newCredit := unacked - c.reinjectCredit[r]
+	c.ctl[r].failed = true
+	newCredit := unacked - c.ctl[r].reinjectCredit
 	if newCredit < 0 {
 		newCredit = 0
 	}
 	c.sentSegs -= newCredit
-	c.reinjectCredit[r] += newCredit
+	c.ctl[r].reinjectCredit += newCredit
 	c.reinjectedSegs += newCredit
 	// Kick the survivors: the freed budget is theirs to claim right now.
 	for i, s := range c.subs {
-		if i != r && !c.failed[i] {
+		if i != r && !c.ctl[i].failed {
 			s.Start()
 		}
 	}
@@ -248,11 +253,11 @@ func (c *Conn) NoteFailed(r int, unacked int64) {
 // NoteRevived implements tcp.Coordinator: subflow r's path healed and the
 // subflow is back in service (it restarts itself; we only lift the gate).
 func (c *Conn) NoteRevived(r int) {
-	c.failed[r] = false
+	c.ctl[r].failed = false
 }
 
 // SubflowFailed reports whether subflow r is currently marked dead.
-func (c *Conn) SubflowFailed(r int) bool { return c.failed[r] }
+func (c *Conn) SubflowFailed(r int) bool { return c.ctl[r].failed }
 
 // ReinjectedSegs reports the total segments handed back by failing
 // subflows for re-injection on survivors over the connection's lifetime.
@@ -276,8 +281,10 @@ func (c *Conn) AckedSegs() int64 { return c.ackedSegs }
 // the number of future acks on each subflow that will be discounted because
 // the segments they cover were handed back at failure time.
 func (c *Conn) ReinjectCredits() []int64 {
-	out := make([]int64, len(c.reinjectCredit))
-	copy(out, c.reinjectCredit)
+	out := make([]int64, len(c.ctl))
+	for i := range c.ctl {
+		out[i] = c.ctl[i].reinjectCredit
+	}
 	return out
 }
 

@@ -57,7 +57,7 @@ type Link struct {
 	eng *sim.Engine
 	cfg LinkConfig
 
-	queue []*Packet
+	queue pktRing
 	busy  bool
 	down  bool
 
@@ -98,7 +98,7 @@ func (l *Link) Delay() sim.Time { return l.cfg.Delay }
 
 // QueueLen reports the number of packets currently queued or in
 // serialization.
-func (l *Link) QueueLen() int { return len(l.queue) }
+func (l *Link) QueueLen() int { return l.queue.len() }
 
 // QueueLimit reports the DropTail capacity in packets.
 func (l *Link) QueueLimit() int { return l.cfg.QueueLimit }
@@ -143,11 +143,10 @@ func (l *Link) SetDown() {
 		if l.busy {
 			keep = 1 // head is mid-serialization; txDone discards it
 		}
-		for _, p := range l.queue[keep:] {
+		for l.queue.len() > keep {
 			l.outageDrops++
-			p.Release()
+			l.queue.popBack().Release()
 		}
-		l.queue = l.queue[:keep]
 	}
 }
 
@@ -158,7 +157,7 @@ func (l *Link) SetUp() {
 		return
 	}
 	l.down = false
-	if !l.busy && len(l.queue) > 0 {
+	if !l.busy && l.queue.len() > 0 {
 		l.startTx()
 	}
 }
@@ -227,7 +226,7 @@ func (l *Link) Price() float64 {
 	if l.cfg.PriceRho == 0 && l.cfg.PriceGamma == 0 {
 		return 0
 	}
-	excess := len(l.queue) - l.cfg.PriceQTarget
+	excess := l.queue.len() - l.cfg.PriceQTarget
 	if excess < 0 {
 		excess = 0
 	}
@@ -249,18 +248,18 @@ func (l *Link) Enqueue(p *Packet) {
 		p.Release()
 		return
 	}
-	if len(l.queue) >= l.cfg.QueueLimit {
+	if l.queue.len() >= l.cfg.QueueLimit {
 		l.dropped++
 		p.Release()
 		return
 	}
-	if l.cfg.MarkThreshold > 0 && len(l.queue) >= l.cfg.MarkThreshold && !p.IsAck {
+	if l.cfg.MarkThreshold > 0 && l.queue.len() >= l.cfg.MarkThreshold && !p.IsAck {
 		p.CE = true
 	}
 	if !p.IsAck {
 		p.Price += l.Price()
 	}
-	l.queue = append(l.queue, p)
+	l.queue.push(p, l.cfg.QueueLimit)
 	if !l.busy {
 		l.startTx()
 	}
@@ -269,13 +268,12 @@ func (l *Link) Enqueue(p *Packet) {
 func (l *Link) startTx() {
 	l.busy = true
 	l.lastTxStart = l.eng.Now()
-	l.eng.ScheduleAfter(l.TxTime(l.queue[0].Size), l.txDoneFn)
+	l.eng.ScheduleAfter(l.TxTime(l.queue.front().Size), l.txDoneFn)
 }
 
 // txDone completes serialization of the head-of-line packet.
 func (l *Link) txDone() {
-	p := l.queue[0]
-	l.queue = l.queue[1:]
+	p := l.queue.pop()
 	l.busyTime += l.eng.Now() - l.lastTxStart
 	if l.down && l.cfg.FlushOnDown {
 		// The link was cut mid-serialization: the packet never made it.
@@ -286,7 +284,7 @@ func (l *Link) txDone() {
 		l.bytesOut += uint64(p.Size)
 		l.eng.ScheduleAfter(l.cfg.Delay, p.fwd())
 	}
-	if len(l.queue) > 0 {
+	if l.queue.len() > 0 {
 		l.startTx()
 	} else {
 		l.busy = false

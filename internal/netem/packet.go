@@ -3,11 +3,7 @@
 // source-routed forwarding between them.
 package netem
 
-import (
-	"sync"
-
-	"mptcpsim/internal/sim"
-)
+import "mptcpsim/internal/sim"
 
 // Endpoint consumes packets at the end of a route. Transport receivers and
 // senders (for ACKs) implement it.
@@ -54,27 +50,85 @@ type Packet struct {
 	hop   int
 	dst   Endpoint
 	fwdFn func()
+
+	pool   *Pool
+	gen    uint64
+	pooled bool
 }
 
-var pktPool = sync.Pool{New: func() any { return &Packet{} }}
+// poolMaxFree bounds each free list; beyond it released packets fall back to
+// the garbage collector, so a transient burst cannot pin memory forever.
+const poolMaxFree = 4096
 
-// NewPacket returns a zeroed packet, recycled from the pool when possible.
-// Hot paths (transports, traffic generators) pair it with Release; plain
-// &Packet{} literals remain fine for everything else.
-func NewPacket() *Packet {
-	p := pktPool.Get().(*Packet)
-	fn := p.fwdFn // survives reuse; it is bound to this same pointer
+// Pool is a generation-counted packet free list, the packet-side twin of the
+// engine's event recycling: Release bumps the packet's generation and pushes
+// it on the list, Get pops and re-zeroes it. A pool belongs to one simulation
+// domain (a Path, a traffic generator) and therefore one engine, so unlike
+// the sync.Pool it replaces it needs no synchronization and recycles across
+// the whole run instead of per-GC-cycle. The zero value is ready to use.
+type Pool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, recycled from the free list when possible.
+// Get on a nil pool degrades to a plain allocation, so consumers can pass
+// through the pool of whatever packet they are answering without caring
+// whether it was pooled at all.
+func (pl *Pool) Get() *Packet {
+	if pl == nil {
+		return &Packet{}
+	}
+	n := len(pl.free)
+	if n == 0 {
+		return &Packet{pool: pl}
+	}
+	p := pl.free[n-1]
+	pl.free[n-1] = nil
+	pl.free = pl.free[:n-1]
+	// The forward closure is bound to this same pointer and survives reuse;
+	// the generation counter survives so stale holders stay detectable.
+	fn, gen := p.fwdFn, p.gen
 	*p = Packet{}
-	p.fwdFn = fn
+	p.fwdFn, p.pool, p.gen = fn, pl, gen
 	return p
 }
 
-// Release returns the packet to the pool. Only the final consumer — the
-// endpoint that fully processed it, or the link that dropped it — may call
-// it, and the packet must not be touched afterwards.
-func (p *Packet) Release() {
-	pktPool.Put(p)
+// FreeLen reports the packets currently parked on the free list.
+func (pl *Pool) FreeLen() int { return len(pl.free) }
+
+// NewPacket returns a freshly allocated, unpooled packet. Hot paths allocate
+// from a Pool instead; plain packets remain fine for tests and one-shot use,
+// and Release on them is a no-op.
+func NewPacket() *Packet {
+	return &Packet{}
 }
+
+// Release returns the packet to its pool. Only the final consumer — the
+// endpoint that fully processed it, or the link that dropped it — may call
+// it, and the packet must not be touched afterwards: the generation bump
+// makes the retired incarnation detectable, and a double release panics.
+func (p *Packet) Release() {
+	if p.pool == nil {
+		return
+	}
+	if p.pooled {
+		panic("netem: packet released twice")
+	}
+	p.pooled = true
+	p.gen++
+	if len(p.pool.free) < poolMaxFree {
+		p.pool.free = append(p.pool.free, p)
+	}
+}
+
+// Pool returns the pool the packet was allocated from (nil for plain
+// packets). Endpoints that emit a reply use it so the reply recycles in the
+// same domain as the packet that provoked it.
+func (p *Packet) Pool() *Pool { return p.pool }
+
+// Gen returns the packet's recycle generation: a holder that recorded it at
+// allocation can detect that the packet has since been released and reused.
+func (p *Packet) Gen() uint64 { return p.gen }
 
 // SetRoute assigns the chain of links the packet will traverse and the
 // endpoint that consumes it after the last link.
@@ -87,6 +141,9 @@ func (p *Packet) SetRoute(links []*Link, dst Endpoint) {
 // Send injects the packet into the first link of its route, or delivers it
 // directly when the route is empty (loopback).
 func (p *Packet) Send() {
+	if p.pooled {
+		panic("netem: packet used after release")
+	}
 	p.forward()
 }
 

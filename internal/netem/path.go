@@ -8,7 +8,14 @@ type Path struct {
 	Name    string
 	Forward []*Link
 	Reverse []*Link
+
+	pool Pool
 }
+
+// Pool returns the path's packet free list. Every sender over the path draws
+// data packets from it; ACKs answer from the same pool via Packet.Pool, so
+// the whole round trip recycles in one single-threaded domain.
+func (p *Path) Pool() *Pool { return &p.pool }
 
 // MinRate returns the smallest line rate along the forward direction — the
 // path's bottleneck bandwidth.

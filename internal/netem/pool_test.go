@@ -1,10 +1,72 @@
 package netem
 
 import (
+	"reflect"
 	"testing"
 
 	"mptcpsim/internal/sim"
 )
+
+// poolCarryFields are the unexported Packet fields that intentionally
+// survive recycling: the cached forward closure (bound to the packet
+// pointer), the pool backpointer and the generation/release bookkeeping.
+var poolCarryFields = map[string]bool{
+	"fwdFn": true, "pool": true, "gen": true, "pooled": true,
+}
+
+// TestPoolRecycleScrubsEveryField sets every exported Packet field to a
+// non-zero value, releases the packet, and asserts the recycled object —
+// which the LIFO free list guarantees is the same one — comes back with
+// every field zeroed except the intentional carry-overs. Reflection walks
+// the struct so a future field added to Packet without scrub coverage
+// fails here instead of leaking stale flags, ECN marks or timestamps into
+// the next incarnation.
+func TestPoolRecycleScrubsEveryField(t *testing.T) {
+	var pool Pool
+	p := pool.Get()
+	rv := reflect.ValueOf(p).Elem()
+	rt := rv.Type()
+	set := 0
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		if !f.CanSet() {
+			continue // unexported: route state, scrubbed wholesale by Get
+		}
+		switch f.Kind() {
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Int, reflect.Int64:
+			f.SetInt(77)
+		case reflect.Uint, reflect.Uint64:
+			f.SetUint(77)
+		case reflect.Float64:
+			f.SetFloat(7.5)
+		default:
+			t.Fatalf("Packet.%s has kind %s this test cannot poison — extend it", rt.Field(i).Name, f.Kind())
+		}
+		set++
+	}
+	if set == 0 {
+		t.Fatal("poisoned no fields; reflection walk is broken")
+	}
+	p.SetRoute([]*Link{}, nil) // poison the unexported route state too
+	p.Release()
+
+	q := pool.Get()
+	if q != p {
+		t.Fatal("free list did not recycle the released packet")
+	}
+	for i := 0; i < rv.NumField(); i++ {
+		name := rt.Field(i).Name
+		if poolCarryFields[name] {
+			continue
+		}
+		if f := rv.Field(i); !f.IsZero() {
+			t.Errorf("recycled packet leaks %s (non-zero after Get)", name)
+		}
+	}
+	q.Release()
+}
 
 func TestPacketPoolReuseIsClean(t *testing.T) {
 	p := NewPacket()

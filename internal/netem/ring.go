@@ -1,0 +1,82 @@
+package netem
+
+// pktRing is a fixed-capacity FIFO of packets backing a link's DropTail
+// queue. The previous queue was a plain slice advanced with queue[1:] and
+// refilled with append, which regrows the backing array perpetually (every
+// element of the array is used exactly once); the ring reuses its backing
+// array forever, so a link in steady state never allocates. Capacity grows
+// geometrically up to the link's queue limit and then stays fixed — the
+// limit itself may be large (fuzzed configs), so it is not allocated
+// eagerly.
+type pktRing struct {
+	buf  []*Packet
+	head int
+	n    int
+}
+
+// ringInitialCap is the smallest backing array a non-empty ring allocates.
+const ringInitialCap = 16
+
+func (r *pktRing) len() int { return r.n }
+
+// front returns the oldest packet without removing it.
+func (r *pktRing) front() *Packet { return r.buf[r.head] }
+
+// push appends a packet, growing toward limit if the backing array is full.
+// The caller enforces the queue limit; pushing past it panics via index
+// arithmetic only after grow declines to exceed limit.
+func (r *pktRing) push(p *Packet, limit int) {
+	if r.n == len(r.buf) {
+		r.grow(limit)
+	}
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	r.buf[i] = p
+	r.n++
+}
+
+// pop removes and returns the oldest packet.
+func (r *pktRing) pop() *Packet {
+	p := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+	}
+	return p
+}
+
+// popBack removes and returns the newest packet (queue flush on link-down).
+func (r *pktRing) popBack() *Packet {
+	r.n--
+	i := r.head + r.n
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	p := r.buf[i]
+	r.buf[i] = nil
+	return p
+}
+
+func (r *pktRing) grow(limit int) {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = ringInitialCap
+	}
+	if newCap > limit {
+		newCap = limit
+	}
+	if newCap <= r.n {
+		panic("netem: ring grown past its queue limit")
+	}
+	buf := make([]*Packet, newCap)
+	m := copy(buf, r.buf[r.head:])
+	copy(buf[m:], r.buf[:r.head])
+	r.buf, r.head = buf, 0
+}

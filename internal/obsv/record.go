@@ -29,6 +29,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 
 	"mptcpsim/internal/sim"
 )
@@ -91,6 +92,47 @@ func sanitize(v float64) float64 {
 		return 0
 	}
 	return v
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest round-trip form, 'f' format unless the magnitude calls for
+// scientific notation (< 1e-6 or >= 1e21), with Go's two-digit negative
+// exponents shortened ("e-09" → "e-9"). Keeping these bytes identical to
+// json.Marshal is what lets the hot-path sample encoder replace it without
+// perturbing golden records. f must be finite (sanitize first).
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// appendSampleLine appends one sample tick in the schema-v1 line format,
+// byte-identical to json.Marshal(sampleLine{...}) plus the trailing newline:
+// field order type,t_s,v and the value map with lexicographically sorted
+// keys. keys holds the pre-encoded (quoted, escaped, colon-terminated) key
+// bytes in sorted order; order maps each key to its series index in vals.
+func appendSampleLine(buf []byte, t float64, keys [][]byte, order []int, vals []float64) []byte {
+	buf = append(buf, `{"type":"sample","t_s":`...)
+	buf = appendJSONFloat(buf, t)
+	buf = append(buf, `,"v":{`...)
+	for j, idx := range order {
+		if j > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, keys[j]...)
+		buf = appendJSONFloat(buf, vals[idx])
+	}
+	return append(buf, '}', '}', '\n')
 }
 
 // writeLine marshals v and appends it with a trailing newline.

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -50,6 +51,15 @@ type Recorder struct {
 	closed  bool
 	err     error
 	tickFn  func()
+
+	// Hot-path buffers, built once at Start so the steady-state tick
+	// allocates nothing: the sampler scratch row, the JSONL line buffer,
+	// and the sample line's value keys pre-sorted and pre-encoded
+	// (quoted, escaped, colon-terminated) with their series indices.
+	vals     []float64
+	buf      []byte
+	keyOrder []int
+	keyJSON  [][]byte
 }
 
 // watchedTimeline is a Timeline whose events are folded into the record at
@@ -140,11 +150,30 @@ func (r *Recorder) WatchConn(prefix string, conn *mptcp.Conn) {
 		if intr != nil {
 			// The key set is fixed at registration so the record's series
 			// list (and the CSV header) is complete up front.
-			for _, key := range sortedKeys(intr.Introspect(conn.Views(), i)) {
-				key := key
-				r.AddSampler(sub+key, func() float64 {
-					return intr.Introspect(conn.Views(), i)[key]
-				})
+			keys := sortedKeys(intr.Introspect(conn.Views(), i))
+			if len(keys) > 0 {
+				// All key samplers for this subflow share one component row,
+				// refreshed on the first access of each tick; with an
+				// IntrospectorInto the row map is reused across ticks, so
+				// steady-state introspection allocates nothing.
+				into, _ := intr.(core.IntrospectorInto)
+				row := make(map[string]float64, len(keys))
+				stamp := sim.Time(-1)
+				component := func(key string) float64 {
+					if now := r.eng.Now(); now != stamp {
+						stamp = now
+						if into != nil {
+							into.IntrospectInto(conn.Views(), i, row)
+						} else {
+							row = intr.Introspect(conn.Views(), i)
+						}
+					}
+					return row[key]
+				}
+				for _, key := range keys {
+					key := key
+					r.AddSampler(sub+key, func() float64 { return component(key) })
+				}
 			}
 		}
 		r.AddTimeline(sub, s.Transitions())
@@ -171,7 +200,9 @@ func (r *Recorder) Start() {
 		return
 	}
 	r.started = true
+	r.vals = make([]float64, len(r.samplers))
 	if r.opt.Stream != nil {
+		r.buildKeyTable()
 		names := r.names
 		if names == nil {
 			names = []string{}
@@ -187,24 +218,51 @@ func (r *Recorder) Start() {
 	r.eng.ScheduleAfter(r.opt.Interval, r.tickFn)
 }
 
+// buildKeyTable precomputes the sample line's value-map layout: the series
+// names deduplicated (later registrations win, matching the map semantics
+// the line schema is defined by), sorted, and JSON-encoded once, so tick
+// only appends floats.
+func (r *Recorder) buildKeyTable() {
+	last := make(map[string]int, len(r.names))
+	for i, name := range r.names {
+		last[name] = i
+	}
+	uniq := make([]string, 0, len(last))
+	for name := range last {
+		uniq = append(uniq, name)
+	}
+	sort.Strings(uniq)
+	r.keyOrder = make([]int, len(uniq))
+	r.keyJSON = make([][]byte, len(uniq))
+	for j, name := range uniq {
+		r.keyOrder[j] = last[name]
+		enc, err := json.Marshal(name)
+		if err != nil { // unreachable: strings always marshal
+			panic("obsv: encode series name: " + err.Error())
+		}
+		r.keyJSON[j] = append(enc, ':')
+	}
+}
+
 func (r *Recorder) tick() {
 	if r.closed {
 		return
 	}
 	now := r.eng.Now()
-	vals := make([]float64, len(r.samplers))
+	vals := r.vals
 	for i, fn := range r.samplers {
 		vals[i] = sanitize(fn())
 	}
-	if r.opt.Stream != nil {
-		v := make(map[string]float64, len(vals))
-		for i, name := range r.names {
-			v[name] = vals[i]
+	if r.opt.Stream != nil && r.err == nil {
+		r.buf = appendSampleLine(r.buf[:0], now.Seconds(), r.keyJSON, r.keyOrder, vals)
+		if _, err := r.opt.Stream.Write(r.buf); err != nil {
+			r.err = err
 		}
-		r.emit(sampleLine{Type: "sample", T: now.Seconds(), V: v})
 	}
 	if r.opt.Retain {
-		r.rows = append(r.rows, Row{T: now, V: vals})
+		row := make([]float64, len(vals))
+		copy(row, vals)
+		r.rows = append(r.rows, Row{T: now, V: row})
 	}
 	r.eng.ScheduleAfter(r.opt.Interval, r.tickFn)
 }

@@ -32,62 +32,107 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 // Seconds reports the instant as fractional seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// event is a queue entry. Every event — timer-tracked or not — returns to
-// the engine's free list once it fires or is stopped; gen is bumped on each
-// recycle so a stale Timer handle can tell its event has moved on.
-type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+// Events live in a slab addressed by a small integer id; the priority queue
+// orders value-typed, pointer-free keys. Splitting the two means the 4-ary
+// sift loops move 24-byte values with no GC write barriers and compare keys
+// without chasing an event pointer per probe — the pointer-heavy heap was
+// the single largest line in the packet-path CPU profile.
 
-	index int    // heap index; -1 once popped or removed
-	gen   uint64 // incremented on recycle; Timer handles compare against it
+// slabEvent is an event's slab slot. gen is bumped on each recycle so a
+// stale Timer handle can tell its event has moved on; index is the event's
+// current heap position (indexInNowQ while batched for same-instant
+// dispatch), maintained only for timer-tracked events.
+type slabEvent struct {
+	fn    func()
+	gen   uint64
+	index int32
 }
 
-// less orders events by time, then by scheduling order (FIFO at equal
-// instants).
-func less(a, b *event) bool {
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+// index sentinels. Untracked events keep indexNone throughout; a tracked
+// event's index is its heap position while queued.
+const (
+	indexNone   int32 = -1
+	indexInNowQ int32 = -2
+)
+
+// heapNode is one priority-queue entry: the ordering key (at, seq), the
+// owning slab id, and whether that slot's index must be maintained (only
+// events with live Timer handles need it).
+type heapNode struct {
+	at      Time
+	seq     uint64
+	id      int32
+	tracked bool
+}
+
+// nowEntry is one same-instant batch entry. The generation pins the slab
+// incarnation: a stopped entry's slot is recycled immediately, so a
+// mismatch marks the entry as a tombstone to skip.
+type nowEntry struct {
+	id  int32
+	gen uint64
 }
 
 // Timer is a handle to a scheduled event that can be cancelled before it
 // fires. The zero value is an inert timer: Stop and Active are no-ops on it.
 type Timer struct {
 	eng *Engine
-	ev  *event
+	id  int32
 	gen uint64
 }
 
 // Stop cancels the timer, removing its event from the queue immediately. It
 // reports whether the event had not yet fired. Stopping an already-fired or
 // already-stopped timer is a no-op: the generation counter on the recycled
-// event makes a stale handle harmless even after the event is reused.
+// slab slot makes a stale handle harmless even after the slot is reused.
 func (t Timer) Stop() bool {
-	if t.ev == nil || t.ev.gen != t.gen || t.ev.index < 0 {
+	if t.eng == nil {
 		return false
 	}
-	t.eng.remove(t.ev)
+	e := t.eng
+	ev := &e.slab[t.id]
+	if ev.gen != t.gen {
+		return false
+	}
+	if ev.index == indexInNowQ {
+		// Queued in the same-instant batch: recycling the slot bumps its
+		// generation, turning the queued entry into a tombstone the
+		// dispatch loop skips.
+		e.nowLive--
+		e.recycle(t.id)
+		return true
+	}
+	e.removeAt(int(ev.index))
 	return true
 }
 
 // Active reports whether the timer is still pending.
 func (t Timer) Active() bool {
-	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+	return t.eng != nil && t.eng.slab[t.id].gen == t.gen
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe for
 // concurrent use; a simulation run owns exactly one engine. Independent
 // engines may run on separate goroutines (see internal/runner).
 type Engine struct {
-	now    Time
-	events []*event // 4-ary min-heap ordered by (at, seq)
-	seq    uint64
-	rng    *rand.Rand
+	now Time
+	seq uint64
+	rng *rand.Rand
 
-	free []*event // recycled events
+	slab []slabEvent // all live and free event slots
+	free []int32     // recycled slab ids
+
+	heap []heapNode // 4-ary min-heap of future events, ordered by (at, seq)
+
+	// Same-instant batch: events scheduled at (or clamped to) the current
+	// instant append here and dispatch FIFO, so bursts that reschedule at
+	// t=now drain without ever touching the heap. Every heap event with
+	// at == now predates the instant and therefore has a smaller seq than
+	// any batch entry, so "heap first while its top is due, then the batch
+	// cursor" preserves exact (at, seq) order.
+	nowQ    []nowEntry
+	nowHead int
+	nowLive int // batch entries that are not tombstones (Pending)
 
 	processed uint64
 	stopped   bool
@@ -114,8 +159,8 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // at the current time (it cannot rewind the clock). It returns a cancellable
 // timer handle.
 func (e *Engine) At(t Time, fn func()) Timer {
-	ev := e.push(t, fn)
-	return Timer{eng: e, ev: ev, gen: ev.gen}
+	id := e.push(t, fn, true)
+	return Timer{eng: e, id: id, gen: e.slab[id].gen}
 }
 
 // After schedules fn to run d after the current time.
@@ -126,32 +171,52 @@ func (e *Engine) After(d Time, fn func()) Timer {
 // Schedule is the no-handle variant of At, for events that never need
 // cancelling.
 func (e *Engine) Schedule(t Time, fn func()) {
-	e.push(t, fn)
+	e.push(t, fn, false)
 }
 
 // ScheduleAfter is Schedule relative to the current time.
 func (e *Engine) ScheduleAfter(d Time, fn func()) {
-	e.push(e.now+d, fn)
+	e.push(e.now+d, fn, false)
 }
 
-func (e *Engine) push(t Time, fn func()) *event {
-	if t < e.now {
-		t = e.now
-	}
-	var ev *event
+func (e *Engine) push(t Time, fn func(), tracked bool) int32 {
+	var id int32
 	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free[n-1] = nil
+		id = e.free[n-1]
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn = t, e.seq, fn
 	} else {
-		ev = &event{at: t, seq: e.seq, fn: fn}
+		e.slab = append(e.slab, slabEvent{index: indexNone})
+		id = int32(len(e.slab) - 1)
+	}
+	ev := &e.slab[id]
+	ev.fn = fn
+	if t <= e.now {
+		// Due now (or clamped from the past): join the same-instant batch.
+		ev.index = indexInNowQ
+		e.nowQ = append(e.nowQ, nowEntry{id: id, gen: ev.gen})
+		e.nowLive++
+	} else {
+		i := len(e.heap)
+		if tracked {
+			ev.index = int32(i)
+		} else {
+			ev.index = indexNone
+		}
+		e.heap = append(e.heap, heapNode{at: t, seq: e.seq, id: id, tracked: tracked})
+		e.siftUp(i)
 	}
 	e.seq++
-	ev.index = len(e.events)
-	e.events = append(e.events, ev)
-	e.siftUp(ev.index)
-	return ev
+	return id
+}
+
+// recycle retires a slab slot: the generation bump invalidates every
+// outstanding Timer handle and nowQ entry for this incarnation.
+func (e *Engine) recycle(id int32) {
+	ev := &e.slab[id]
+	ev.fn = nil
+	ev.gen++
+	ev.index = indexNone
+	e.free = append(e.free, id)
 }
 
 // Stop makes Run return after the event currently executing completes.
@@ -189,16 +254,47 @@ func (e *Engine) Drain() {
 	e.loop(0, false)
 }
 
-// loop is the shared pop/fire cycle behind Run and Drain. Stopped timers
-// leave the queue at Stop time, so every popped event fires.
+// loop is the shared dispatch cycle behind Run and Drain. Stopped heap
+// timers leave the queue at Stop time and stopped batch entries become
+// tombstones, so every event that reaches the budget check fires.
 func (e *Engine) loop(until Time, bounded bool) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if bounded && next.at > until {
-			e.now = until
+	for !e.stopped {
+		// Skip tombstoned batch entries; compact once the cursor drains.
+		for e.nowHead < len(e.nowQ) {
+			en := e.nowQ[e.nowHead]
+			if e.slab[en.id].gen == en.gen {
+				break
+			}
+			e.nowHead++
+		}
+		if e.nowHead == len(e.nowQ) && e.nowHead > 0 {
+			e.nowQ = e.nowQ[:0]
+			e.nowHead = 0
+		}
+
+		// Select the next event in (at, seq) order: the heap owns anything
+		// due at the current instant that predates it (smaller seq), then
+		// the batch drains FIFO, then the heap advances the clock.
+		fromHeap := false
+		switch {
+		case len(e.heap) > 0 && e.heap[0].at <= e.now:
+			fromHeap = true
+		case e.nowHead < len(e.nowQ):
+			if bounded && e.now > until {
+				e.now = until
+				return
+			}
+		case len(e.heap) > 0:
+			if bounded && e.heap[0].at > until {
+				e.now = until
+				return
+			}
+			fromHeap = true
+		default:
 			return
 		}
+
 		if e.maxProcessed != 0 && e.processed >= e.maxProcessed {
 			if e.onBudget != nil {
 				e.onBudget()
@@ -206,88 +302,96 @@ func (e *Engine) loop(until Time, bounded bool) {
 			e.stopped = true
 			return
 		}
-		e.popTop()
-		e.now = next.at
+
+		var id int32
+		if fromHeap {
+			top := e.heap[0]
+			e.popTop()
+			e.now = top.at
+			id = top.id
+		} else {
+			id = e.nowQ[e.nowHead].id
+			e.nowHead++
+			e.nowLive--
+		}
+		fn := e.slab[id].fn
+		e.recycle(id)
 		e.processed++
-		fn := next.fn
-		e.recycle(next)
 		fn()
 	}
 }
 
-func (e *Engine) recycle(ev *event) {
-	ev.fn = nil
-	ev.gen++
-	if len(e.free) < 1024 {
-		e.free = append(e.free, ev)
-	}
-}
-
 // Pending reports how many scheduled events remain queued. Stopped timers
-// are removed from the queue immediately, so they are never counted.
-func (e *Engine) Pending() int { return len(e.events) }
+// leave the count immediately, so they are never included.
+func (e *Engine) Pending() int { return len(e.heap) + e.nowLive }
 
 // --- 4-ary min-heap ---
 //
 // A 4-ary heap halves sift depth versus the binary container/heap and keeps
-// parent/child hops within one cache line of *event pointers; inlining it
-// also removes the interface boxing of heap.Push/Pop from the hot path.
+// parent/child hops within two cache lines of value-typed nodes; the inline
+// key comparisons avoid both interface boxing and per-probe pointer chasing,
+// and moving pointer-free nodes emits no GC write barriers.
 
-// popTop removes the minimum event, leaving its index at -1.
+// popTop removes the minimum node.
 func (e *Engine) popTop() {
-	h := e.events
+	h := e.heap
 	n := len(h) - 1
-	h[0].index = -1
 	last := h[n]
-	h[n] = nil
-	e.events = h[:n]
+	e.heap = h[:n]
 	if n > 0 {
-		last.index = 0
 		h[0] = last
+		if last.tracked {
+			e.slab[last.id].index = 0
+		}
 		e.siftDown(0)
 	}
 }
 
-// remove deletes an arbitrary queued event (Timer.Stop) and recycles it.
-func (e *Engine) remove(ev *event) {
-	i := ev.index
-	h := e.events
+// removeAt deletes the heap node at index i (Timer.Stop) and recycles its
+// event.
+func (e *Engine) removeAt(i int) {
+	h := e.heap
+	id := h[i].id
 	n := len(h) - 1
 	last := h[n]
-	h[n] = nil
-	e.events = h[:n]
-	ev.index = -1
+	e.heap = h[:n]
 	if i < n {
-		last.index = i
 		h[i] = last
+		if last.tracked {
+			e.slab[last.id].index = int32(i)
+		}
 		if !e.siftDown(i) {
 			e.siftUp(i)
 		}
 	}
-	e.recycle(ev)
+	e.recycle(id)
 }
 
 func (e *Engine) siftUp(i int) {
-	h := e.events
-	ev := h[i]
+	h := e.heap
+	nd := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !less(ev, h[p]) {
+		if h[p].at < nd.at || (h[p].at == nd.at && h[p].seq < nd.seq) {
 			break
 		}
 		h[i] = h[p]
-		h[i].index = i
+		if h[i].tracked {
+			e.slab[h[i].id].index = int32(i)
+		}
 		i = p
 	}
-	h[i] = ev
-	ev.index = i
+	h[i] = nd
+	if nd.tracked {
+		e.slab[nd.id].index = int32(i)
+	}
 }
 
-// siftDown restores heap order below i and reports whether the event moved.
+// siftDown restores heap order below i and reports whether the node moved.
 func (e *Engine) siftDown(i int) bool {
-	h := e.events
+	h := e.heap
 	n := len(h)
-	ev := h[i]
+	nd := h[i]
 	start := i
 	for {
 		c := i<<2 + 1
@@ -300,18 +404,22 @@ func (e *Engine) siftDown(i int) bool {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if less(h[j], h[m]) {
+			if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
 				m = j
 			}
 		}
-		if !less(h[m], ev) {
+		if nd.at < h[m].at || (nd.at == h[m].at && nd.seq < h[m].seq) {
 			break
 		}
 		h[i] = h[m]
-		h[i].index = i
+		if h[i].tracked {
+			e.slab[h[i].id].index = int32(i)
+		}
 		i = m
 	}
-	h[i] = ev
-	ev.index = i
+	h[i] = nd
+	if nd.tracked {
+		e.slab[nd.id].index = int32(i)
+	}
 	return i != start
 }

@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"sort"
+
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
 )
@@ -14,7 +16,7 @@ type Receiver struct {
 	sub *Subflow
 
 	rcvNext int64
-	ooo     map[int64]struct{}
+	ooo     []int64 // sorted out-of-order buffer, every entry > rcvNext
 
 	pktsReceived uint64
 	oooPeak      int
@@ -37,26 +39,27 @@ func (r *Receiver) Receive(p *netem.Packet) {
 	switch {
 	case p.Seq == r.rcvNext:
 		r.rcvNext++
-		for {
-			if _, ok := r.ooo[r.rcvNext]; !ok {
-				break
-			}
-			delete(r.ooo, r.rcvNext)
+		// Consume the run of now-consecutive buffered segments. The buffer
+		// is sorted and its minimum is always > the old rcvNext, so the run
+		// is a prefix; compacting in place keeps the backing array.
+		k := 0
+		for k < len(r.ooo) && r.ooo[k] == r.rcvNext {
+			k++
 			r.rcvNext++
 		}
+		if k > 0 {
+			n := copy(r.ooo, r.ooo[k:])
+			r.ooo = r.ooo[:n]
+		}
 	case p.Seq > r.rcvNext:
-		if r.ooo == nil {
-			r.ooo = make(map[int64]struct{})
-		}
-		r.ooo[p.Seq] = struct{}{}
-		if len(r.ooo) > r.oooPeak {
-			r.oooPeak = len(r.ooo)
-		}
+		r.bufferOutOfOrder(p.Seq)
 	default:
 		// Duplicate of already-delivered data; still acknowledged below.
 	}
 
-	ack := netem.NewPacket()
+	// Answer from the data packet's own pool (plain allocation for unpooled
+	// packets), so the ACK recycles in the same domain it was provoked in.
+	ack := p.Pool().Get()
 	ack.Flow = p.Flow
 	ack.Subflow = p.Subflow
 	ack.IsAck = true
@@ -69,6 +72,21 @@ func (r *Receiver) Receive(p *netem.Packet) {
 	p.Release()
 	ack.SetRoute(r.sub.path.Reverse, r.sub)
 	ack.Send()
+}
+
+// bufferOutOfOrder inserts seq into the sorted reordering buffer, ignoring
+// duplicates.
+func (r *Receiver) bufferOutOfOrder(seq int64) {
+	i := sort.Search(len(r.ooo), func(i int) bool { return r.ooo[i] >= seq })
+	if i < len(r.ooo) && r.ooo[i] == seq {
+		return
+	}
+	r.ooo = append(r.ooo, 0)
+	copy(r.ooo[i+1:], r.ooo[i:])
+	r.ooo[i] = seq
+	if len(r.ooo) > r.oooPeak {
+		r.oooPeak = len(r.ooo)
+	}
 }
 
 var _ netem.Endpoint = (*Receiver)(nil)

@@ -97,12 +97,13 @@ type Subflow struct {
 	cumAck   int64
 
 	// sacked holds, sorted, the segments above cumAck the receiver has
-	// reported; retransmitted marks holes already resent this episode;
+	// reported; retransmitted holds, sorted, the holes already resent this
+	// episode (the scan cursor makes inserts tail-appends in practice);
 	// scanFrom remembers how far the hole scan has progressed, so each
 	// sequence number is examined once per episode rather than once per
 	// ACK (heavy-loss periods would otherwise make recovery quadratic).
 	sacked        []int64
-	retransmitted map[int64]struct{}
+	retransmitted []int64
 	scanFrom      int64
 
 	inRecovery bool
@@ -135,6 +136,13 @@ type Subflow struct {
 	price    float64
 	roundEnd int64
 
+	// view caches the last snapshot handed to the algorithm; every mutation
+	// of a field View exposes marks it dirty, so the per-ack Views() fan-out
+	// rebuilds only subflows that actually changed (the float conversions in
+	// the rebuild dominate the per-ack cost otherwise).
+	view      core.View
+	viewDirty bool
+
 	stats Stats
 }
 
@@ -143,16 +151,16 @@ type Subflow struct {
 func NewSubflow(eng *sim.Engine, cfg Config, coord Coordinator, flow uint64, id int, path *netem.Path) *Subflow {
 	cfg = cfg.withDefaults()
 	s := &Subflow{
-		eng:           eng,
-		cfg:           cfg,
-		coord:         coord,
-		id:            id,
-		flow:          flow,
-		path:          path,
-		cwnd:          cfg.InitialCwnd,
-		ssthresh:      1 << 30,
-		rto:           cfg.RTOInit,
-		retransmitted: make(map[int64]struct{}),
+		eng:       eng,
+		cfg:       cfg,
+		coord:     coord,
+		id:        id,
+		flow:      flow,
+		path:      path,
+		cwnd:      cfg.InitialCwnd,
+		ssthresh:  1 << 30,
+		rto:       cfg.RTOInit,
+		viewDirty: true,
 	}
 	s.rtoTickFn = s.rtoTick
 	s.probeTickFn = s.probeTick
@@ -226,7 +234,19 @@ func (s *Subflow) State() State { return s.state }
 func (s *Subflow) Transitions() *trace.Timeline { return &s.transitions }
 
 // View snapshots the subflow state for the congestion-control algorithm.
+// The snapshot is cached and rebuilt only after one of its inputs changed.
 func (s *Subflow) View() core.View {
+	if s.viewDirty {
+		s.view = s.buildView()
+		// Until the first RTT sample the snapshot substitutes the path's
+		// live BaseRTT, which fault injection can change under us — keep
+		// rebuilding until a sample pins the view to subflow state only.
+		s.viewDirty = !s.hasRTT
+	}
+	return s.view
+}
+
+func (s *Subflow) buildView() core.View {
 	srtt := s.srtt
 	if !s.hasRTT {
 		// Before any sample, present the path's unloaded RTT so coupled
@@ -279,7 +299,7 @@ func (s *Subflow) trySend() {
 }
 
 func (s *Subflow) sendSeq(seq int64, rtx bool) {
-	p := netem.NewPacket()
+	p := s.path.Pool().Get()
 	p.Flow = s.flow
 	p.Subflow = s.id
 	p.Seq = seq
@@ -358,6 +378,7 @@ func (s *Subflow) onRTO() {
 	}
 	s.ssthresh = max2(s.cwnd/2, 2)
 	s.cwnd = s.cfg.MinCwnd
+	s.viewDirty = true
 	s.inRecovery = false
 	if s.backoff < 6 {
 		s.backoff++
@@ -368,7 +389,7 @@ func (s *Subflow) onRTO() {
 	// pipe estimate and recovery crawls at one segment per timeout.
 	// Receiver-buffered runs make the cumulative ACK jump forward, so
 	// little already-delivered data is actually resent.
-	clear(s.retransmitted)
+	s.retransmitted = s.retransmitted[:0]
 	s.sacked = s.sacked[:0]
 	s.scanFrom = s.cumAck
 	s.nextSeq = s.cumAck
@@ -387,7 +408,7 @@ func (s *Subflow) fail() {
 	s.transitions.Add(s.eng.Now(), "dead")
 	s.rtoDeadline = 0
 	s.inRecovery = false
-	clear(s.retransmitted)
+	s.retransmitted = s.retransmitted[:0]
 	s.sacked = s.sacked[:0]
 	s.scanFrom = s.cumAck
 	// Rewind so the frozen range no longer counts as inflight; the
@@ -396,6 +417,7 @@ func (s *Subflow) fail() {
 	s.nextSeq = s.cumAck
 	s.ssthresh = max2(s.cwnd/2, 2)
 	s.cwnd = s.cfg.MinCwnd
+	s.viewDirty = true
 	s.probeIval = s.cfg.ProbeInterval
 	s.eng.ScheduleAfter(s.probeIval, s.probeTickFn)
 	// Notify last: the coordinator may immediately push the freed budget
@@ -433,11 +455,12 @@ func (s *Subflow) revive() {
 	s.stats.Revivals++
 	s.transitions.Add(s.eng.Now(), "active")
 	s.inRecovery = false
-	clear(s.retransmitted)
+	s.retransmitted = s.retransmitted[:0]
 	s.sacked = s.sacked[:0]
 	s.scanFrom = s.cumAck
 	s.nextSeq = s.cumAck
 	s.cwnd = s.cfg.MinCwnd
+	s.viewDirty = true
 	s.coord.NoteRevived(s.id)
 	s.trySend()
 	s.restartRTO()
@@ -482,16 +505,16 @@ func (s *Subflow) noteSack(seq int64) {
 }
 
 // pruneBelow discards SACK and retransmission state below the cumulative
-// acknowledgement.
+// acknowledgement. Both sets are sorted, so pruning is a cut at the first
+// surviving entry — no per-entry iteration as with the map this replaces.
 func (s *Subflow) pruneBelow(cum int64) {
 	i := sort.Search(len(s.sacked), func(i int) bool { return s.sacked[i] >= cum })
 	if i > 0 {
 		s.sacked = append(s.sacked[:0], s.sacked[i:]...)
 	}
-	for seq := range s.retransmitted {
-		if seq < cum {
-			delete(s.retransmitted, seq)
-		}
+	i = sort.Search(len(s.retransmitted), func(i int) bool { return s.retransmitted[i] >= cum })
+	if i > 0 {
+		s.retransmitted = append(s.retransmitted[:0], s.retransmitted[i:]...)
 	}
 }
 
@@ -507,7 +530,10 @@ func (s *Subflow) onNewAck(p *netem.Packet) {
 	s.backoff = 0
 	s.consecRTO = 0
 	s.stats.PktsAcked += uint64(acked)
-	s.price = p.EchoPrice
+	if s.price != p.EchoPrice {
+		s.price = p.EchoPrice
+		s.viewDirty = true
+	}
 	s.pruneBelow(s.cumAck)
 
 	s.sampleRTT(s.eng.Now() - p.EchoedAt)
@@ -576,17 +602,40 @@ func (s *Subflow) sackRetransmit() {
 			idx++
 			continue
 		}
-		if _, done := s.retransmitted[h]; !done {
+		if !s.wasRetransmitted(h) {
 			if !budget() {
 				break
 			}
-			s.retransmitted[h] = struct{}{}
+			s.noteRetransmitted(h)
 			s.sendSeq(h, true)
 		}
 		h++
 	}
 	s.scanFrom = h
 	s.ensureRTO()
+}
+
+// wasRetransmitted reports whether hole seq was already resent this episode.
+func (s *Subflow) wasRetransmitted(seq int64) bool {
+	i := sort.Search(len(s.retransmitted), func(i int) bool { return s.retransmitted[i] >= seq })
+	return i < len(s.retransmitted) && s.retransmitted[i] == seq
+}
+
+// noteRetransmitted records hole seq as resent. The hole scan walks
+// sequence numbers upward and never behind the scan cursor, so in practice
+// this is a tail append; the general sorted insert is kept for safety.
+func (s *Subflow) noteRetransmitted(seq int64) {
+	if n := len(s.retransmitted); n == 0 || s.retransmitted[n-1] < seq {
+		s.retransmitted = append(s.retransmitted, seq)
+		return
+	}
+	i := sort.Search(len(s.retransmitted), func(i int) bool { return s.retransmitted[i] >= seq })
+	if i < len(s.retransmitted) && s.retransmitted[i] == seq {
+		return
+	}
+	s.retransmitted = append(s.retransmitted, 0)
+	copy(s.retransmitted[i+1:], s.retransmitted[i:])
+	s.retransmitted[i] = seq
 }
 
 func (s *Subflow) enterRecovery() {
@@ -599,6 +648,7 @@ func (s *Subflow) enterRecovery() {
 	newCwnd := max2(alg.Decrease(views, s.id), s.cfg.MinCwnd)
 	s.ssthresh = max2(newCwnd, 2)
 	s.cwnd = newCwnd
+	s.viewDirty = true
 	s.inRecovery = true
 	s.recover = s.nextSeq
 }
@@ -617,12 +667,14 @@ func (s *Subflow) grow(acked int, views []core.View, alg core.Algorithm) {
 			// like every other ssthresh assignment: right after a timeout
 			// cwnd sits at MinCwnd, which can be below 2.
 			s.ssthresh = max2(s.cwnd, 2)
+			s.viewDirty = true
 		} else {
 			// Slow start: one segment per acked segment, not beyond ssthresh.
 			s.cwnd += float64(acked)
 			if s.cwnd > s.ssthresh {
 				s.cwnd = s.ssthresh
 			}
+			s.viewDirty = true
 			return
 		}
 	}
@@ -630,6 +682,7 @@ func (s *Subflow) grow(acked int, views []core.View, alg core.Algorithm) {
 	if s.cwnd < s.cfg.MinCwnd {
 		s.cwnd = s.cfg.MinCwnd
 	}
+	s.viewDirty = true
 }
 
 // delaySignal reports whether the latest RTT sample shows enough queueing
@@ -660,6 +713,7 @@ func (s *Subflow) roundTick(views []core.View, alg core.Algorithm) {
 		cwnd, ssthresh := rt.OnRound(views, s.id)
 		s.cwnd = max2(cwnd, s.cfg.MinCwnd)
 		s.ssthresh = max2(ssthresh, 2)
+		s.viewDirty = true
 	}
 }
 
@@ -667,6 +721,7 @@ func (s *Subflow) sampleRTT(rtt sim.Time) {
 	if rtt <= 0 {
 		return
 	}
+	s.viewDirty = true
 	s.lastRTT = rtt
 	if s.baseRTT == 0 || rtt < s.baseRTT {
 		s.baseRTT = rtt

@@ -222,16 +222,16 @@ func TestSubflowPruneBelow(t *testing.T) {
 	for _, seq := range []int64{3, 5, 9, 12} {
 		s.noteSack(seq)
 	}
-	s.retransmitted[4] = struct{}{}
-	s.retransmitted[10] = struct{}{}
+	s.noteRetransmitted(4)
+	s.noteRetransmitted(10)
 	s.pruneBelow(9)
 	if len(s.sacked) != 2 || s.sacked[0] != 9 || s.sacked[1] != 12 {
 		t.Errorf("sacked after prune = %v, want [9 12]", s.sacked)
 	}
-	if _, ok := s.retransmitted[4]; ok {
+	if s.wasRetransmitted(4) {
 		t.Error("retransmitted entry below prune point survived")
 	}
-	if _, ok := s.retransmitted[10]; !ok {
+	if !s.wasRetransmitted(10) {
 		t.Error("retransmitted entry above prune point was dropped")
 	}
 }

@@ -31,6 +31,7 @@ type CBR struct {
 	eng     *sim.Engine
 	route   []*netem.Link
 	sink    *Sink
+	pool    netem.Pool
 	rate    int64
 	pktSize int
 	sent    uint64
@@ -65,7 +66,7 @@ func (c *CBR) emit() {
 	if c.stopped {
 		return
 	}
-	p := netem.NewPacket()
+	p := c.pool.Get()
 	p.Size = c.pktSize
 	p.SentAt = c.eng.Now()
 	p.SetRoute(c.route, c.sink)
@@ -83,6 +84,7 @@ type ParetoOnOff struct {
 	eng     *sim.Engine
 	route   []*netem.Link
 	sink    *Sink
+	pool    netem.Pool
 	rate    int64
 	pktSize int
 
@@ -166,25 +168,29 @@ func (p *ParetoOnOff) burst() {
 	p.active = true
 	p.onTime += dur
 	end := p.eng.Now() + dur
-	p.emitUntil(end)
+	interval := sim.Time(int64(p.pktSize) * 8 * int64(sim.Second) / p.rate)
+	// One emit closure per burst, reused along the whole chain (the old code
+	// allocated one per packet). Each burst's chain captures its own end, so
+	// a straggler tick from a finished burst stays inert even if the next
+	// burst has already begun.
+	var tick func()
+	tick = func() {
+		if p.stopped || p.eng.Now() >= end {
+			return
+		}
+		pkt := p.pool.Get()
+		pkt.Size = p.pktSize
+		pkt.SentAt = p.eng.Now()
+		pkt.SetRoute(p.route, p.sink)
+		pkt.Send()
+		p.sent++
+		p.eng.After(interval, tick)
+	}
+	tick()
 	p.eng.At(end, func() {
 		p.active = false
 		p.scheduleOn()
 	})
-}
-
-func (p *ParetoOnOff) emitUntil(end sim.Time) {
-	if p.stopped || p.eng.Now() >= end {
-		return
-	}
-	pkt := netem.NewPacket()
-	pkt.Size = p.pktSize
-	pkt.SentAt = p.eng.Now()
-	pkt.SetRoute(p.route, p.sink)
-	pkt.Send()
-	p.sent++
-	interval := sim.Time(int64(p.pktSize) * 8 * int64(sim.Second) / p.rate)
-	p.eng.After(interval, func() { p.emitUntil(end) })
 }
 
 // expDuration draws an exponential duration with the given mean.

@@ -75,8 +75,8 @@ func (sc Scenario) Horizon() sim.Time { return sim.Time(sc.HorizonMs) * sim.Mill
 // chaosAlgorithms is the pool the generator samples; it spans loss-based,
 // delay-based and energy-aware controllers plus single-path baselines.
 var chaosAlgorithms = []string{
-	"reno", "ewtcp", "coupled", "lia", "olia", "balia", "ecmtcp",
-	"wvegas", "dts", "dts-lia", "dtsep", "dtsep-lia",
+	"reno", "cubic", "ewtcp", "coupled", "lia", "olia", "balia", "ecmtcp",
+	"vegas", "wvegas", "dts", "dts-lia", "dtsep", "dtsep-lia",
 }
 
 // GenerateAt derives scenario i of a campaign from the campaign seed. The

@@ -156,11 +156,21 @@ func confSpecs() []confSpec {
 		{name: "lia", tol: 0.10, psi: uniformPsi(core.PsiLIA)},
 		{name: "olia", tol: 0.10, psi: uniformPsi(core.PsiOLIA)},
 		{name: "balia", tol: 0.10, psi: uniformPsi(core.PsiBalia)},
+		// cubic: per-subflow CUBIC is uncoupled, and on disjoint DropTail
+		// bottlenecks any uncoupled loss-based law settles at the capacity
+		// split — the fluid side models it with ψ_r = (Σx)²/x_r² (n
+		// independent flows; the window-law details shift the loss rate, not
+		// the equilibrium share).
+		{name: "cubic", tol: 0.10, psi: uniformPsi(core.PsiUncoupled)},
 		// wVegas is delay-based: it keeps per-path backlog near its Vegas
 		// target instead of probing for loss, so the Kelly loss price of
 		// Eq. 3 does not model it. The oracle is the free-capacity split the
 		// paper expects of it on disjoint bottlenecks.
 		{name: "wvegas", tol: 0.10, oracle: capShare},
+		// vegas: plain per-subflow Vegas holds each path's backlog in [α, β]
+		// independently, filling both disjoint bottlenecks — same capacity
+		// oracle as wVegas.
+		{name: "vegas", tol: 0.10, oracle: capShare},
 		{name: "dts", tol: 0.10, psi: dtsPsi},
 		// dtsep: path0's switch link charges the Eq. 6 price rho, and the
 		// fluid side carries the matching compensative term

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"mptcpsim/internal/core"
 	"mptcpsim/internal/energy"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
@@ -39,7 +40,13 @@ const (
 	InvState       = "subflow.state"     // legal failover transitions, ordered in time
 	InvEnergy      = "meter.energy"      // joules non-negative, non-decreasing, finite
 	InvLinkConserv = "link.conservation" // arrived = delivered + dropped + queued
+	InvWeights     = "alg.weights"       // Σ weights = 1 ± ε, each in [0, 1], finite
 )
+
+// weightSumTol bounds |Σ weights − 1| for weighted algorithms: the vector
+// is renormalized exactly on membership changes and preserved by the EWMA
+// round update, so only float rounding accumulates.
+const weightSumTol = 1e-6
 
 // --- snapshot layer -------------------------------------------------------
 //
@@ -70,6 +77,11 @@ type ConnState struct {
 	Reinjected int64 // lifetime total of segments handed back at failures
 	Credits    []int64
 	Subflows   []SubflowState
+
+	// Weights is the algorithm's per-subflow weight vector when the
+	// algorithm is core.Weighted (wVegas) and has initialized it; nil
+	// otherwise. Σ weights must stay at 1 within weightSumTol.
+	Weights []float64
 }
 
 // LinkState is the checked view of one netem.Link's conservation counters.
@@ -100,6 +112,11 @@ func SnapshotConn(name string, c *mptcp.Conn) ConnState {
 		Acked:      c.AckedSegs(),
 		Reinjected: c.ReinjectedSegs(),
 		Credits:    c.ReinjectCredits(),
+	}
+	if w, ok := c.Alg().(core.Weighted); ok {
+		if ws := w.Weights(); len(ws) > 0 {
+			st.Weights = append([]float64(nil), ws...)
+		}
 	}
 	for _, s := range c.Subflows() {
 		sub := SubflowState{
@@ -185,6 +202,21 @@ func CheckConn(t sim.Time, st ConnState) []Violation {
 	}
 	if sumCredit > st.Reinjected {
 		add(InvCredit, "Σcredit=%d exceeds lifetime reinjected=%d", sumCredit, st.Reinjected)
+	}
+
+	// Weighted algorithms (wVegas): the rate-share weight vector stays a
+	// probability vector — each weight finite in [0, 1], summing to 1.
+	if len(st.Weights) > 0 {
+		var sum float64
+		for r, w := range st.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 || w > 1+weightSumTol {
+				add(InvWeights, "weight[%d]=%g outside [0, 1]", r, w)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > weightSumTol {
+			add(InvWeights, "Σweights=%g differs from 1 by more than %g", sum, weightSumTol)
+		}
 	}
 
 	for _, s := range st.Subflows {

@@ -38,6 +38,7 @@ func cleanConn() ConnState {
 				TransitionTimes: []sim.Time{sim.Second, 2 * sim.Second},
 			},
 		},
+		Weights: []float64{0.6, 0.4},
 	}
 }
 
@@ -157,6 +158,23 @@ func TestMutationsTrip(t *testing.T) {
 			name:   "timeline disagrees with state",
 			want:   InvState,
 			mutate: func(st *ConnState) { st.Subflows[1].State = "dead" },
+		},
+		{
+			name: "weights sum drifted",
+			want: InvWeights,
+			// The pre-fix wVegas failure mode: a subflow dies, nobody
+			// renormalizes, and the survivors keep only part of the budget.
+			mutate: func(st *ConnState) { st.Weights = []float64{0.6, 0} },
+		},
+		{
+			name:   "negative weight",
+			want:   InvWeights,
+			mutate: func(st *ConnState) { st.Weights = []float64{1.2, -0.2} },
+		},
+		{
+			name:   "weight NaN",
+			want:   InvWeights,
+			mutate: func(st *ConnState) { st.Weights = []float64{nan(), 1} },
 		},
 	}
 	for _, tc := range cases {

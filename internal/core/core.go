@@ -108,6 +108,39 @@ type IntrospectorInto interface {
 	IntrospectInto(flows []View, r int, out map[string]float64)
 }
 
+// ClockUser is implemented by algorithms whose window law is a function of
+// elapsed wall-clock time (CUBIC). The transport injects its clock (in
+// seconds) right after construction; an algorithm left without a clock
+// falls back to a time-free approximation.
+type ClockUser interface {
+	SetClock(now func() float64)
+}
+
+// TimeoutObserver is implemented by algorithms that must reset internal
+// state when subflow r suffers a retransmission timeout or its path is
+// declared failed (CUBIC discards its cubic epoch — the pre-timeout
+// plateau no longer describes the path).
+type TimeoutObserver interface {
+	OnTimeout(flows []View, r int)
+}
+
+// MembershipObserver is implemented by algorithms with cross-subflow state
+// that must react when a subflow leaves service (path declared dead) or
+// rejoins (path revived) — wVegas renormalizes its rate-share weights so
+// they keep summing to one over the live set.
+type MembershipObserver interface {
+	OnSubflowDown(r int)
+	OnSubflowUp(r int)
+}
+
+// Weighted is implemented by algorithms that maintain an explicit
+// per-subflow weight vector with Σ weights = 1 (wVegas); the invariant
+// checker bounds the sum. The returned slice is owned by the algorithm and
+// must not be modified by the caller.
+type Weighted interface {
+	Weights() []float64
+}
+
 // RoundTuner is implemented by algorithms that adjust the window once per
 // RTT round rather than per ACK (wVegas — the paper's δ=1 case — and
 // DCTCP's alpha update). The transport calls OnRound at each round boundary
@@ -121,6 +154,8 @@ type Factory func() Algorithm
 
 var registry = map[string]Factory{
 	"reno":       func() Algorithm { return NewReno() },
+	"cubic":      func() Algorithm { return NewCubic() },
+	"vegas":      func() Algorithm { return NewVegas() },
 	"dctcp":      func() Algorithm { return NewDCTCP() },
 	"ewtcp":      func() Algorithm { return NewEWTCP() },
 	"coupled":    func() Algorithm { return NewCoupled() },

@@ -15,8 +15,8 @@ func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 14 {
-		t.Fatalf("registered %d algorithms, want 14: %v", len(names), names)
+	if len(names) != 16 {
+		t.Fatalf("registered %d algorithms, want 16: %v", len(names), names)
 	}
 	for _, n := range names {
 		a, err := New(n)

@@ -144,3 +144,18 @@ func PsiBalia(flows []View, r int) float64 {
 func PsiDTS(flows []View, r int) float64 {
 	return EpsExact(rttRatio(flows[r]))
 }
+
+// PsiUncoupled is ψ_r = (Σ_k x_k)² / x_r²: per-ack increase 1/w_r on every
+// subflow independently — n uncoupled TCP flows. This is the fluid stand-in
+// for the per-subflow CUBIC family: at a DropTail equilibrium the loss rate
+// adjusts so each uncoupled flow holds its fair share of its bottleneck
+// regardless of how aggressively it probes, which is exactly the capacity
+// split the conformance harness checks.
+func PsiUncoupled(flows []View, r int) float64 {
+	x := flows[r].Rate()
+	if x <= 0 {
+		return 0
+	}
+	sum := SumRates(flows)
+	return sum * sum / (x * x)
+}

@@ -15,7 +15,13 @@ const (
 
 // WVegas implements weighted Vegas.
 type WVegas struct {
+	// weights is the rate-share weight vector; its sum is held at exactly 1
+	// over the live subflows (renormalized on every membership change and
+	// preserved by the EWMA update, which averages toward shares that
+	// themselves sum to 1). down marks subflows whose path was declared
+	// dead; their weight is pinned at 0 until the path revives.
 	weights []float64
+	down    []bool
 }
 
 // NewWVegas returns a wVegas instance.
@@ -48,19 +54,102 @@ func (*WVegas) diff(f View) float64 {
 	return f.Cwnd * q / rtt
 }
 
-func (v *WVegas) updateWeights(flows []View) {
-	for len(v.weights) < len(flows) {
-		v.weights = append(v.weights, 1/float64(len(flows)))
+// ensure grows the weight vector to n subflows; newcomers enter with an
+// equal share and the whole vector is renormalized back to Σ = 1.
+func (v *WVegas) ensure(n int) {
+	if len(v.weights) >= n {
+		return
 	}
-	sum := SumRates(flows)
+	for len(v.weights) < n {
+		v.weights = append(v.weights, 1/float64(n))
+		v.down = append(v.down, false)
+	}
+	v.renormalize()
+}
+
+// renormalize pins dead subflows at weight 0 and rescales the live ones to
+// sum to exactly 1. If every live weight is 0 (e.g. right after a mass
+// failure) the live flows split the budget evenly.
+func (v *WVegas) renormalize() {
+	var sum float64
+	live := 0
+	for k := range v.weights {
+		if v.down[k] {
+			v.weights[k] = 0
+			continue
+		}
+		live++
+		sum += v.weights[k]
+	}
+	if live == 0 {
+		return
+	}
+	if sum <= 0 {
+		for k := range v.weights {
+			if !v.down[k] {
+				v.weights[k] = 1 / float64(live)
+			}
+		}
+		return
+	}
+	for k := range v.weights {
+		if !v.down[k] {
+			v.weights[k] /= sum
+		}
+	}
+}
+
+func (v *WVegas) updateWeights(flows []View) {
+	v.ensure(len(flows))
+	// EWMA toward the live rate shares: both the weights and the shares sum
+	// to 1 over the live set, so the update preserves Σ weights = 1 without
+	// a per-round renormalization.
+	var sum float64
+	for k, f := range flows {
+		if !v.down[k] {
+			sum += f.Rate()
+		}
+	}
 	if sum <= 0 {
 		return
 	}
 	for k, f := range flows {
+		if v.down[k] {
+			continue
+		}
 		share := f.Rate() / sum
 		v.weights[k] = (1-wvegasWeightGain)*v.weights[k] + wvegasWeightGain*share
 	}
 }
+
+// OnSubflowDown implements MembershipObserver: a dead subflow's weight is
+// redistributed to the survivors so Σ weights = 1 over the live set —
+// without this, the dead path keeps a slice of the backlog budget forever
+// and the survivors under-fill their targets.
+func (v *WVegas) OnSubflowDown(r int) {
+	v.ensure(r + 1)
+	v.down[r] = true
+	v.renormalize()
+}
+
+// OnSubflowUp implements MembershipObserver: the revived subflow rejoins
+// with an equal share carved out of the survivors.
+func (v *WVegas) OnSubflowUp(r int) {
+	v.ensure(r + 1)
+	v.down[r] = false
+	live := 0
+	for k := range v.down {
+		if !v.down[k] {
+			live++
+		}
+	}
+	v.weights[r] = 1 / float64(live)
+	v.renormalize()
+}
+
+// Weights implements Weighted. The slice is owned by the algorithm; the
+// caller must not modify it.
+func (v *WVegas) Weights() []float64 { return v.weights }
 
 // OnRound implements RoundTuner: once per RTT, compare the backlog estimate
 // with the weighted target and move the window by one packet.
@@ -121,7 +210,9 @@ func (v *WVegas) IntrospectInto(flows []View, r int, out map[string]float64) {
 }
 
 var (
-	_ Algorithm        = (*WVegas)(nil)
-	_ RoundTuner       = (*WVegas)(nil)
-	_ IntrospectorInto = (*WVegas)(nil)
+	_ Algorithm          = (*WVegas)(nil)
+	_ RoundTuner         = (*WVegas)(nil)
+	_ IntrospectorInto   = (*WVegas)(nil)
+	_ MembershipObserver = (*WVegas)(nil)
+	_ Weighted           = (*WVegas)(nil)
 )

@@ -466,8 +466,8 @@ func TestFilterAxisUnknownValueEmpty(t *testing.T) {
 
 func TestFigFaultsTransfersComplete(t *testing.T) {
 	res := FigFaults(tiny)
-	if len(res.Rows) != 3*8 {
-		t.Fatalf("faults has %d rows, want 3 scenarios x 8 algorithms", len(res.Rows))
+	if len(res.Rows) != 3*len(faultsAlgorithms) {
+		t.Fatalf("faults has %d rows, want 3 scenarios x %d algorithms", len(res.Rows), len(faultsAlgorithms))
 	}
 	horizon := 15.0 // tiny scale clamps at the 15 s floor
 	for i, row := range res.Rows {

@@ -25,7 +25,7 @@ import (
 // scenario — nothing depends on grid position), so a campaign can schedule
 // each (scenario, algorithm) cell as its own unit.
 var (
-	faultsAlgorithms = []string{"ewtcp", "coupled", "lia", "olia", "balia", "wvegas", "dts", "dts-lia"}
+	faultsAlgorithms = []string{"ewtcp", "coupled", "lia", "olia", "balia", "cubic", "vegas", "wvegas", "dts", "dts-lia"}
 	faultsScenarios  = []string{"outage", "flap", "handover"}
 )
 

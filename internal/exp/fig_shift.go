@@ -110,8 +110,10 @@ func fig6UserEnergies(cfg Config, wd *supervise.Watchdog, n int, alg string, tra
 	return out, eng.Processed()
 }
 
-// fig7Algorithms are the existing algorithms compared for traffic shifting.
-var fig7Algorithms = []string{"lia", "olia", "balia", "ecmtcp", "wvegas"}
+// fig7Algorithms are the existing algorithms compared for traffic shifting
+// (plus the uncoupled cubic/vegas baselines, which shift nothing by design
+// and anchor the comparison).
+var fig7Algorithms = []string{"lia", "olia", "balia", "ecmtcp", "cubic", "vegas", "wvegas"}
 
 // shiftRun runs one Fig. 5b experiment: an MPTCP connection over two paths
 // with Pareto bursty cross traffic on each, returning mean goodput (b/s),

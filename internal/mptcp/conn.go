@@ -110,11 +110,11 @@ func New(eng *sim.Engine, cfg Config, flowID uint64, paths ...*netem.Path) (*Con
 	c := &Conn{
 		eng:     eng,
 		cfg:     cfg,
-		alg:     alg,
 		goodput: trace.NewRateMeter(eng, 1),
 		views:   make([]core.View, len(paths)),
 		ctl:     make([]subCtl, len(paths)),
 	}
+	c.SetAlgorithm(alg)
 	mss := cfg.Transport.MSS
 	if mss == 0 {
 		mss = 1448
@@ -139,7 +139,14 @@ func MustNew(eng *sim.Engine, cfg Config, flowID uint64, paths ...*netem.Path) *
 
 // SetAlgorithm swaps the congestion-control algorithm instance; call it
 // before Start (used for parameterized variants outside the registry).
-func (c *Conn) SetAlgorithm(alg core.Algorithm) { c.alg = alg }
+// Time-aware algorithms (core.ClockUser, e.g. CUBIC) receive the engine
+// clock here.
+func (c *Conn) SetAlgorithm(alg core.Algorithm) {
+	if cu, ok := alg.(core.ClockUser); ok {
+		cu.SetClock(func() float64 { return c.eng.Now().Seconds() })
+	}
+	c.alg = alg
+}
 
 // Start begins the transfer on every subflow.
 func (c *Conn) Start() {
@@ -242,6 +249,9 @@ func (c *Conn) NoteFailed(r int, unacked int64) {
 	c.sentSegs -= newCredit
 	c.ctl[r].reinjectCredit += newCredit
 	c.reinjectedSegs += newCredit
+	if obs, ok := c.alg.(core.MembershipObserver); ok {
+		obs.OnSubflowDown(r)
+	}
 	// Kick the survivors: the freed budget is theirs to claim right now.
 	for i, s := range c.subs {
 		if i != r && !c.ctl[i].failed {
@@ -254,6 +264,9 @@ func (c *Conn) NoteFailed(r int, unacked int64) {
 // subflow is back in service (it restarts itself; we only lift the gate).
 func (c *Conn) NoteRevived(r int) {
 	c.ctl[r].failed = false
+	if obs, ok := c.alg.(core.MembershipObserver); ok {
+		obs.OnSubflowUp(r)
+	}
 }
 
 // SubflowFailed reports whether subflow r is currently marked dead.

@@ -52,6 +52,14 @@ type Config struct {
 	// subflow sends to discover that its path healed; it doubles after
 	// every unanswered probe, clamped at RTOMax. Default 1s.
 	ProbeInterval sim.Time
+
+	// MinRTTWindow bounds how long a min-RTT (baseRTT) observation stays
+	// valid: the floor delay-based algorithms divide by is the minimum over
+	// this trailing window, so a path whose propagation delay ramps up
+	// (mobility, handover, faults delay schedules) re-learns its floor
+	// instead of pinning to a stale lifetime minimum. 0 selects the default
+	// of 30s; negative keeps the lifetime minimum (pre-window behaviour).
+	MinRTTWindow sim.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = sim.Second
+	}
+	if c.MinRTTWindow == 0 {
+		c.MinRTTWindow = 30 * sim.Second
 	}
 	return c
 }

@@ -109,12 +109,14 @@ type Subflow struct {
 	inRecovery bool
 	recover    int64
 
-	srtt, rttvar sim.Time
-	rto          sim.Time
-	baseRTT      sim.Time
-	lastRTT      sim.Time
-	hasRTT       bool
-	backoff      uint
+	// rtt is the shared estimator (smoothed RTT, mean deviation, windowed
+	// min); the subflow enforces Karn's rule before feeding it samples.
+	// rto caches the RFC 6298 timeout recomputed on every accepted sample;
+	// backoff is the exponential timer backoff, reset only by a valid
+	// sample (RFC 6298, 5.7), never by a bare cumulative-ACK advance.
+	rtt     RTTStats
+	rto     sim.Time
+	backoff uint
 
 	// Lazy retransmission timer: rtoDeadline moves forward on every ACK,
 	// but the engine event only fires at the old deadline and reschedules
@@ -164,6 +166,9 @@ func NewSubflow(eng *sim.Engine, cfg Config, coord Coordinator, flow uint64, id 
 	}
 	s.rtoTickFn = s.rtoTick
 	s.probeTickFn = s.probeTick
+	if w := cfg.MinRTTWindow; w > 0 {
+		s.rtt.SetWindow(w)
+	}
 	s.rx = &Receiver{eng: eng, sub: s}
 	return s
 }
@@ -190,13 +195,20 @@ func (s *Subflow) Cwnd() float64 { return s.cwnd }
 func (s *Subflow) SSThresh() float64 { return s.ssthresh }
 
 // SRTT returns the smoothed RTT estimate (0 before the first sample).
-func (s *Subflow) SRTT() sim.Time { return s.srtt }
+func (s *Subflow) SRTT() sim.Time { return s.rtt.SmoothedRTT() }
 
-// BaseRTT returns the minimum RTT observed so far.
-func (s *Subflow) BaseRTT() sim.Time { return s.baseRTT }
+// BaseRTT returns the minimum RTT over the configured min-RTT window
+// (the lifetime minimum when the window is disabled).
+func (s *Subflow) BaseRTT() sim.Time { return s.rtt.MinRTT() }
 
 // LastRTT returns the latest RTT sample.
-func (s *Subflow) LastRTT() sim.Time { return s.lastRTT }
+func (s *Subflow) LastRTT() sim.Time { return s.rtt.LatestRTT() }
+
+// RTTStats exposes the subflow's estimator (read-only use).
+func (s *Subflow) RTTStats() *RTTStats { return &s.rtt }
+
+// RTO returns the current retransmission timeout before backoff.
+func (s *Subflow) RTO() sim.Time { return s.rto }
 
 // Inflight returns the segments sent and not yet cumulatively acked.
 func (s *Subflow) Inflight() int64 { return s.nextSeq - s.cumAck }
@@ -241,23 +253,23 @@ func (s *Subflow) View() core.View {
 		// Until the first RTT sample the snapshot substitutes the path's
 		// live BaseRTT, which fault injection can change under us — keep
 		// rebuilding until a sample pins the view to subflow state only.
-		s.viewDirty = !s.hasRTT
+		s.viewDirty = !s.rtt.HasSample()
 	}
 	return s.view
 }
 
 func (s *Subflow) buildView() core.View {
-	srtt := s.srtt
-	if !s.hasRTT {
+	srtt := s.rtt.SmoothedRTT()
+	if !s.rtt.HasSample() {
 		// Before any sample, present the path's unloaded RTT so coupled
 		// algorithms have something sane to divide by.
 		srtt = s.path.BaseRTT(s.cfg.WireSize(), s.cfg.AckBytes)
 	}
-	last := s.lastRTT
+	last := s.rtt.LatestRTT()
 	if last == 0 {
 		last = srtt
 	}
-	base := s.baseRTT
+	base := s.rtt.MinRTT()
 	if base == 0 {
 		base = srtt
 	}
@@ -308,6 +320,10 @@ func (s *Subflow) sendSeq(seq int64, rtx bool) {
 	p.SetRoute(s.path.Forward, s.rx)
 	p.Send()
 	if rtx {
+		// Single chokepoint for Karn's rule: every retransmission — SACK
+		// holes, post-RTO go-back-N resends, probes — is recorded so the
+		// ACK that covers it is recognized as ambiguous and not sampled.
+		s.noteRetransmitted(seq)
 		s.stats.PktsRtx++
 	}
 }
@@ -383,6 +399,9 @@ func (s *Subflow) onRTO() {
 	if s.backoff < 6 {
 		s.backoff++
 	}
+	if obs, ok := s.coord.Alg().(core.TimeoutObserver); ok {
+		obs.OnTimeout(s.coord.Views(), s.id)
+	}
 	// Classic post-RTO behaviour: discard the scoreboard, roll the send
 	// point back to the cumulative ACK and slow-start from there. Without
 	// this, the surviving holes of a mass-loss burst keep inflating the
@@ -418,6 +437,9 @@ func (s *Subflow) fail() {
 	s.ssthresh = max2(s.cwnd/2, 2)
 	s.cwnd = s.cfg.MinCwnd
 	s.viewDirty = true
+	if obs, ok := s.coord.Alg().(core.TimeoutObserver); ok {
+		obs.OnTimeout(s.coord.Views(), s.id)
+	}
 	s.probeIval = s.cfg.ProbeInterval
 	s.eng.ScheduleAfter(s.probeIval, s.probeTickFn)
 	// Notify last: the coordinator may immediately push the freed budget
@@ -527,7 +549,12 @@ func (s *Subflow) onNewAck(p *netem.Packet) {
 		s.nextSeq = s.cumAck
 		s.maxSent = max64(s.maxSent, s.nextSeq)
 	}
-	s.backoff = 0
+	// Karn's rule (RFC 6298, 3): an ACK covering a segment that was
+	// retransmitted is ambiguous — the echoed timestamp may belong to
+	// either transmission — so it must not produce an RTT sample (and,
+	// with no sample, must not reset the timer backoff either; 5.7).
+	// Decided before pruneBelow erases exactly the entries it consults.
+	karn := len(s.retransmitted) > 0 && s.retransmitted[0] < p.Ack
 	s.consecRTO = 0
 	s.stats.PktsAcked += uint64(acked)
 	if s.price != p.EchoPrice {
@@ -536,7 +563,9 @@ func (s *Subflow) onNewAck(p *netem.Packet) {
 	}
 	s.pruneBelow(s.cumAck)
 
-	s.sampleRTT(s.eng.Now() - p.EchoedAt)
+	if !karn {
+		s.sampleRTT(s.eng.Now() - p.EchoedAt)
+	}
 
 	if s.state != StateActive {
 		// The cumulative ACK moved while the subflow was dead: the path
@@ -606,8 +635,7 @@ func (s *Subflow) sackRetransmit() {
 			if !budget() {
 				break
 			}
-			s.noteRetransmitted(h)
-			s.sendSeq(h, true)
+			s.sendSeq(h, true) // records the retransmission itself
 		}
 		h++
 	}
@@ -690,17 +718,18 @@ func (s *Subflow) grow(acked int, views []core.View, alg core.Algorithm) {
 // delay-increase heuristic: an eighth of the base RTT, clamped to
 // [4 ms, 16 ms]).
 func (s *Subflow) delaySignal() bool {
-	if !s.hasRTT || s.baseRTT == 0 {
+	base := s.rtt.MinRTT()
+	if base == 0 {
 		return false
 	}
-	thresh := s.baseRTT / 8
+	thresh := base / 8
 	if thresh < 4*sim.Millisecond {
 		thresh = 4 * sim.Millisecond
 	}
 	if thresh > 16*sim.Millisecond {
 		thresh = 16 * sim.Millisecond
 	}
-	return s.lastRTT >= s.baseRTT+thresh
+	return s.rtt.LatestRTT() >= base+thresh
 }
 
 func (s *Subflow) roundTick(views []core.View, alg core.Algorithm) {
@@ -717,35 +746,17 @@ func (s *Subflow) roundTick(views []core.View, alg core.Algorithm) {
 	}
 }
 
+// sampleRTT feeds one unambiguous sample (Karn-filtered by the caller) to
+// the estimator. An accepted sample recomputes the cached RTO and resets
+// the exponential timer backoff — RFC 6298 5.7 resets backoff only here,
+// never on a bare cumulative-ACK advance.
 func (s *Subflow) sampleRTT(rtt sim.Time) {
-	if rtt <= 0 {
+	if !s.rtt.UpdateRTT(rtt, 0, s.eng.Now()) {
 		return
 	}
 	s.viewDirty = true
-	s.lastRTT = rtt
-	if s.baseRTT == 0 || rtt < s.baseRTT {
-		s.baseRTT = rtt
-	}
-	if !s.hasRTT {
-		s.srtt = rtt
-		s.rttvar = rtt / 2
-		s.hasRTT = true
-	} else {
-		diff := s.srtt - rtt
-		if diff < 0 {
-			diff = -diff
-		}
-		s.rttvar = (3*s.rttvar + diff) / 4
-		s.srtt = (7*s.srtt + rtt) / 8
-	}
-	rto := s.srtt + 4*s.rttvar
-	if rto < s.cfg.RTOMin {
-		rto = s.cfg.RTOMin
-	}
-	if rto > s.cfg.RTOMax {
-		rto = s.cfg.RTOMax
-	}
-	s.rto = rto
+	s.backoff = 0
+	s.rto = s.rtt.RTO(s.cfg.RTOMin, s.cfg.RTOMax)
 }
 
 func max64(a, b int64) int64 {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine bench-diff experiments full validate soak campaign resume-smoke clean
+.PHONY: all build vet test race bench bench-engine bench-diff experiments full validate sweep docs soak campaign resume-smoke clean
 
 all: build vet test race
 
@@ -47,6 +47,17 @@ full:
 # "Validation methodology"); CI diffs this against the committed golden.
 validate:
 	$(GO) run ./cmd/mptcp-bench -validate
+
+# Hybrid fluid/packet sweep over the calibrated default grid
+# (docs/backends.md): 1008 points solved on the fluid engine with a
+# deterministic 5% packet spot check. Exit 3 names any disagreeing point.
+sweep:
+	$(GO) run ./cmd/mptcp-bench -sweep -loads 0:0.15:28
+
+# Documentation gates (docs_test.go): package comments, package-map
+# coverage, CLI flag docs, and markdown file references.
+docs:
+	$(GO) test -run 'TestPackageComments|TestPackageMapCoversEveryPackage|TestCLIFlagsDocumented|TestMarkdownFileReferencesResolve' .
 
 # Bounded chaos soak (EXPERIMENTS.md, "Soak & quarantine methodology"):
 # 60 generated scenarios under invariants and the run supervisor. Exit 3

@@ -1,8 +1,8 @@
 // Command bench-diff gates performance regressions: it compares the per-experiment
-// events/sec of a freshly produced BENCH JSON against a committed baseline
-// and exits non-zero when any experiment present in both regressed by more
-// than the threshold. Experiments named in -allow are still reported but
-// never fatal — the escape hatch for known, accepted slowdowns (wired
+// events/sec of a freshly produced BENCH JSON (-new) against a committed
+// baseline (-old) and exits non-zero when any experiment present in both
+// regressed by more than the threshold (-max-regress, a fraction).
+// Experiments named in -allow are still reported but never fatal — the escape hatch for known, accepted slowdowns (wired
 // through the Makefile's BENCH_ALLOW variable and the CI bench job).
 //
 // Two baseline schemas are understood, because the committed BENCH_seed.json

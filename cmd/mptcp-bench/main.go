@@ -4,8 +4,12 @@
 // Usage:
 //
 //	mptcp-bench [-exp figN[,figM...]] [-scale 0.3] [-seed 1] [-reps 0] [-full] [-j 8]
-//	mptcp-bench -campaign DIR [-exp ...] [-seeds 1,2,3] [-scale ...] [-records] [-shard i/n]
+//	mptcp-bench -sweep [-backend hybrid] [-topos a,b] [-algs x,y] [-loads 0:0.15:28] [-spot-check 0.05] [-tol 0.10]
+//	mptcp-bench -campaign DIR [-exp ...] [-sweep ...] [-seeds 1,2,3] [-scale ...] [-records] [-shard i/n]
 //	mptcp-bench -resume DIR [-j 8] [-shard i/n]
+//
+// -list prints the experiment IDs and exits; -markdown wraps each printed
+// table in a fenced block ready for EXPERIMENTS.md.
 //
 // -full sets scale to 1.0 (the published parameters); the default scale
 // keeps the whole suite fast enough for a laptop. -j controls how many
@@ -15,6 +19,20 @@
 // -out DIR exports one machine-readable run record (JSONL + CSV, see
 // internal/obsv and EXPERIMENTS.md) per simulation run; -sample-interval
 // sets the record's sampling period in simulated time.
+//
+// -sweep fans a (topology × algorithm × load) grid through the backend
+// engines (internal/backend, docs/backends.md) instead of the figure
+// experiments. -backend picks the engine mix: "fluid" solves every point on
+// the Eq. 3 model, "packet" runs every point on the discrete-event stack,
+// and "hybrid" (the default) solves everything on the fluid engine and
+// re-runs a deterministic seed-derived -spot-check fraction on the packet
+// engine, comparing per-path shares within -tol. -topos/-algs narrow the
+// grid (defaults: every registered topology, the calibrated algorithm
+// set); -loads takes either a comma-separated list or lo:hi:n for n evenly
+// spaced loads. A disagreeing spot check exits 3 naming the points. With
+// -campaign, -sweep adds its grid to the campaign as journaled units — see
+// EXPERIMENTS.md, "Hybrid sweeps"; without an explicit -exp the campaign is
+// then sweep-only.
 //
 // -campaign expands the selected experiments × -seeds into a checkpointed
 // campaign under DIR (see internal/campaign and EXPERIMENTS.md, "Resumable
@@ -60,6 +78,7 @@ import (
 	"syscall"
 	"time"
 
+	"mptcpsim/internal/backend"
 	"mptcpsim/internal/campaign"
 	"mptcpsim/internal/check"
 	"mptcpsim/internal/exp"
@@ -174,9 +193,25 @@ func run(args []string) error {
 		seedsFlag   = fs.String("seeds", "", "campaign seed list, comma-separated (campaign mode only; default: -seed)")
 		shardFlag   = fs.String("shard", "", "run only this slice of the campaign, as i/n (campaign mode only)")
 		records     = fs.Bool("records", false, "export obsv run records under each campaign unit directory (campaign mode only)")
+		sweepFlag   = fs.Bool("sweep", false, "run a (topology × algorithm × load) backend sweep instead of the figure experiments")
+		backendName = fs.String("backend", "hybrid", "sweep engine mix: packet, fluid, or hybrid (fluid + packet spot checks)")
+		toposFlag   = fs.String("topos", "", "sweep topologies, comma-separated (default: all registered)")
+		algsFlag    = fs.String("algs", "", "sweep algorithms, comma-separated (default: the calibrated sweep set)")
+		loadsFlag   = fs.String("loads", "", "sweep cross-load axis: lo:hi:n or a comma-separated list (default 0,0.05,0.1,0.15)")
+		spotCheck   = fs.Float64("spot-check", 0.05, "fraction of hybrid sweep points re-run on the packet engine (negative disables)")
+		tol         = fs.Float64("tol", 0.10, "maximum fluid-vs-packet share disagreement a spot check accepts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if !*sweepFlag {
+		for _, name := range []string{"backend", "topos", "algs", "loads", "spot-check", "tol"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s requires -sweep", name)
+			}
+		}
 	}
 	if *list {
 		for _, e := range exp.All() {
@@ -228,6 +263,18 @@ func run(args []string) error {
 			Experiments: experiments, Seeds: seeds, Scale: *scale, Reps: *reps,
 			Records: *records, Check: *checkInv,
 		}
+		if *sweepFlag {
+			sw, err := sweepSpecFromFlags(*backendName, *toposFlag, *algsFlag, *loadsFlag, *spotCheck, *tol)
+			if err != nil {
+				return err
+			}
+			spec.Sweep = &sw
+			// -sweep -campaign without an explicit -exp is a sweep-only
+			// campaign; "all" is only the default for figure campaigns.
+			if !explicit["exp"] {
+				spec.Experiments = nil
+			}
+		}
 		opt := campaign.Options{
 			Workers: *workers, Shard: shard, Timeout: *timeout,
 			SyncEvery: campaign.DefaultSyncEvery, SampleInterval: sim.Time(*sampleInt),
@@ -239,6 +286,36 @@ func run(args []string) error {
 	}
 	if *seedsFlag != "" || *shardFlag != "" || *records {
 		return fmt.Errorf("-seeds, -shard and -records require -campaign or -resume")
+	}
+
+	if *sweepFlag {
+		sw, err := sweepSpecFromFlags(*backendName, *toposFlag, *algsFlag, *loadsFlag, *spotCheck, *tol)
+		if err != nil {
+			return err
+		}
+		sw.Seed = *seed
+		sw.Workers = *workers
+		res, err := backend.Sweep(ctx, sw)
+		if err != nil {
+			if ctx.Err() != nil {
+				return &supervise.ExitCodeError{
+					Code: supervise.ExitInterrupted,
+					Msg:  "interrupted by signal before the sweep finished",
+				}
+			}
+			return err
+		}
+		fmt.Print(res.Format())
+		if !res.OK() {
+			// Exit 3: the table above is complete, but the fluid answers at
+			// the named points cannot be trusted.
+			return &supervise.ExitCodeError{
+				Code: supervise.ExitQuarantined,
+				Msg: fmt.Sprintf("fluid/packet disagreement at %d of %d checked points: %s",
+					len(res.Disagreements), res.Checked, strings.Join(res.Disagreements, "; ")),
+			}
+		}
+		return nil
 	}
 
 	sup := supervise.New(supervise.Budget{Wall: *timeout})
@@ -426,6 +503,75 @@ func parseShard(s string) (campaign.Shard, error) {
 		return campaign.Shard{}, fmt.Errorf("bad -shard %q (want i/n with 0 <= i < n)", s)
 	}
 	return campaign.Shard{Index: i, Count: n}, nil
+}
+
+// sweepSpecFromFlags builds the sweep grid from the CLI axes, starting from
+// the calibrated defaults (backend.DefaultSweepSpec) and narrowing whatever
+// the user pinned. Seed and Workers stay zero here: the standalone path
+// fills them from -seed/-j, the campaign path from its own manifest.
+func sweepSpecFromFlags(backendName, topos, algs, loads string, spotCheck, tol float64) (backend.SweepSpec, error) {
+	sw := backend.DefaultSweepSpec()
+	sw.Seed = 0
+	sw.Backend = backendName
+	sw.SpotCheck = spotCheck
+	sw.Tol = tol
+	if topos != "" {
+		sw.Topologies = splitList(topos)
+	}
+	if algs != "" {
+		sw.Algorithms = splitList(algs)
+	}
+	if loads != "" {
+		parsed, err := parseLoads(loads)
+		if err != nil {
+			return backend.SweepSpec{}, err
+		}
+		sw.Loads = parsed
+	}
+	return sw, nil
+}
+
+// parseLoads parses the -loads axis: "lo:hi:n" expands to n evenly spaced
+// values (endpoints included), anything else is a comma-separated list.
+func parseLoads(s string) ([]float64, error) {
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -loads %q (want lo:hi:n or a comma-separated list)", s)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		n, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || n < 1 || hi < lo {
+			return nil, fmt.Errorf("bad -loads %q (want lo:hi:n with hi >= lo and n >= 1)", s)
+		}
+		if n == 1 {
+			return []float64{lo}, nil
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		return out, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -loads entry %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated flag value, trimming whitespace.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
 }
 
 // parseSeeds parses a comma-separated seed list.

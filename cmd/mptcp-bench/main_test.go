@@ -1,0 +1,76 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseLoads(t *testing.T) {
+	got, err := parseLoads("0:0.15:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.05, 0.1, 0.15}
+	if len(got) != len(want) {
+		t.Fatalf("parseLoads(0:0.15:4) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("parseLoads(0:0.15:4) = %v, want %v", got, want)
+		}
+	}
+	if got, err := parseLoads("0.2"); err != nil || len(got) != 1 || got[0] != 0.2 {
+		t.Errorf("parseLoads(0.2) = %v, %v", got, err)
+	}
+	if got, err := parseLoads("0, 0.1"); err != nil || len(got) != 2 || got[1] != 0.1 {
+		t.Errorf("parseLoads(\"0, 0.1\") = %v, %v", got, err)
+	}
+	if got, err := parseLoads("0.3:0.3:1"); err != nil || len(got) != 1 || got[0] != 0.3 {
+		t.Errorf("parseLoads(0.3:0.3:1) = %v, %v", got, err)
+	}
+	for _, bad := range []string{"1:0:5", "0:1:0", "0:1", "a,b", "0:1:2:3"} {
+		if _, err := parseLoads(bad); err == nil {
+			t.Errorf("parseLoads(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSweepSpecFromFlags(t *testing.T) {
+	sw, err := sweepSpecFromFlags("hybrid", "", "", "", 0.05, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Topologies) == 0 || len(sw.Algorithms) == 0 || len(sw.Loads) == 0 {
+		t.Fatalf("defaults left an axis empty: %+v", sw)
+	}
+	for _, a := range sw.Algorithms {
+		if a == "coupled" {
+			t.Error("default algorithm set includes coupled; the calibration excluded it")
+		}
+	}
+	sw, err = sweepSpecFromFlags("fluid", "twopath-sym", " ewtcp , dts ", "0:0.1:3", -1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(sw.Topologies, ",") != "twopath-sym" ||
+		strings.Join(sw.Algorithms, ",") != "ewtcp,dts" ||
+		len(sw.Loads) != 3 || sw.Backend != "fluid" || sw.SpotCheck != -1 || sw.Tol != 0.2 {
+		t.Errorf("narrowed spec = %+v", sw)
+	}
+	if _, err := sweepSpecFromFlags("hybrid", "", "", "0:1:bad", 0.05, 0.1); err == nil {
+		t.Error("bad -loads accepted")
+	}
+}
+
+func TestRunRejectsSweepFlagMisuse(t *testing.T) {
+	if err := run([]string{"-backend", "fluid"}); err == nil || !strings.Contains(err.Error(), "-backend requires -sweep") {
+		t.Errorf("run(-backend without -sweep) = %v", err)
+	}
+	if err := run([]string{"-sweep", "-loads", "nope"}); err == nil {
+		t.Error("run(-sweep -loads nope) accepted")
+	}
+	if err := run([]string{"-sweep", "-backend", "quantum", "-loads", "0"}); err == nil {
+		t.Error("run(-sweep -backend quantum) accepted")
+	}
+}

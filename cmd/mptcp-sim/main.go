@@ -8,6 +8,10 @@
 //	mptcp-sim -topo twopath -alg dts -runs 8 -j 4   # 8 seeds, 4 at a time
 //	mptcp-sim -topo twopath -alg dts -trace run.jsonl -sample-interval 50ms
 //
+// -seed picks the base random seed (runs use seed..seed+runs-1), -rwnd caps
+// the connection receive window in segments, and -timeout sets a per-run
+// wall-clock deadline enforced by the run supervisor.
+//
 // -trace streams a machine-readable run record (JSONL, see internal/obsv
 // and EXPERIMENTS.md): per-subflow cwnd/SRTT/loss series, algorithm
 // internals for introspectable algorithms, host power, and failover events.
@@ -19,6 +23,14 @@
 // subflow state transitions are evaluated periodically and once at the end.
 // Violations fail the run; with -runs > 1 they fail the whole summary,
 // naming each offending seed.
+//
+// -soak replaces the single scenario with a chaos soak: randomized
+// scenario/fault/workload draws run until the given count ("60") or
+// duration ("10m") is spent, each under the invariant checker and a
+// -soak-events event budget. Failures are shrunk and quarantined into
+// -soak-dir; -replay re-runs a quarantined artifact and exits 0 only if
+// the recorded failure reproduces; -inject arms a failpoint on every Nth
+// soak scenario as a self-test of the quarantine pipeline.
 //
 // SIGINT/SIGTERM stop the invocation gracefully: the running simulation is
 // stopped at the next event boundary (batch mode additionally dispatches no

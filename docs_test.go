@@ -1,10 +1,14 @@
 package mptcpsim_test
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -77,4 +81,209 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
+}
+
+// goPackageDirs returns every directory under the roots that holds a
+// buildable (non-test) Go file, skipping testdata.
+func goPackageDirs(t *testing.T, roots ...string) []string {
+	t.Helper()
+	var dirs []string
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+					dirs = append(dirs, filepath.ToSlash(path))
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// TestPackageMapCoversEveryPackage pins the README architecture block and
+// the ARCHITECTURE.md package map to the package tree: every internal
+// package and every command must be listed in both, so a new package
+// cannot ship without its one-line role in the prose.
+func TestPackageMapCoversEveryPackage(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, err := os.ReadFile("ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range goPackageDirs(t, "internal", "cmd") {
+		var wantReadme, wantArch string
+		if strings.HasPrefix(dir, "cmd/") {
+			wantReadme, wantArch = dir, "`"+dir+"`"
+		} else {
+			name := strings.TrimPrefix(dir, "internal/")
+			// README lists bare names at two-space indent in the
+			// architecture block; ARCHITECTURE uses the full path in code
+			// font.
+			wantReadme, wantArch = "\n  "+name+" ", "`internal/"+name+"`"
+		}
+		if !strings.Contains(string(readme), wantReadme) {
+			t.Errorf("README.md architecture block does not list %s (looked for %q)", dir, wantReadme)
+		}
+		if !strings.Contains(string(arch), wantArch) {
+			t.Errorf("ARCHITECTURE.md package map does not list %s (looked for %q)", dir, wantArch)
+		}
+	}
+}
+
+// cliFlags extracts the flag names a command file registers: any call
+// shaped like <recv>.String("name", ...) (or Bool / Int / Int64 / Uint64 /
+// Float64 / Duration) with a string-literal first argument. Matching on
+// the method name alone covers both the flag.FlagSet style (mptcp-bench,
+// mptcp-sim) and the package-level flag style (bench-diff).
+func cliFlags(t *testing.T, file string) (names []string, doc string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Doc != nil {
+		doc = f.Doc.Text()
+	}
+	kinds := map[string]bool{
+		"String": true, "Bool": true, "Int": true, "Int64": true,
+		"Uint64": true, "Float64": true, "Duration": true,
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !kinds[sel.Sel.Name] || len(call.Args) < 3 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if name, err := strconv.Unquote(lit.Value); err == nil && name != "" {
+			names = append(names, name)
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names, doc
+}
+
+// TestCLIFlagsDocumented requires every flag a command registers to be
+// mentioned as "-name" in that command's package comment — the text godoc
+// and the README point at. A flag added without prose fails here.
+func TestCLIFlagsDocumented(t *testing.T) {
+	mains, err := filepath.Glob("cmd/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) == 0 {
+		t.Fatal("no cmd/*/main.go files found")
+	}
+	for _, file := range mains {
+		names, doc := cliFlags(t, file)
+		if len(names) == 0 {
+			t.Errorf("%s: found no flag registrations; the extractor or the command is broken", file)
+			continue
+		}
+		for _, name := range names {
+			// Word-boundary match so -j is not satisfied by -json.
+			re := regexp.MustCompile(`-` + regexp.QuoteMeta(name) + `\b`)
+			if !re.MatchString(doc) {
+				t.Errorf("%s: flag -%s is not mentioned in the package comment", file, name)
+			}
+		}
+	}
+}
+
+var (
+	// mdLinkRe matches markdown link targets: ](target).
+	mdLinkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// mdFileRefRe matches backticked repo-file references like
+	// `docs/backends.md` — the cross-linking style these docs mostly use.
+	mdFileRefRe = regexp.MustCompile("`([A-Za-z0-9_\\-./]+\\.(?:md|go|mod|json|txt|sh|ya?ml))`")
+)
+
+// TestMarkdownFileReferencesResolve checks every relative link and
+// backticked file path in the core docs against the tree, so renaming or
+// deleting a file flags the prose that still points at it. Planning docs
+// (ROADMAP, PAPERS, SNIPPETS, CHANGES, ISSUE) reference external material
+// and are deliberately out of scope.
+func TestMarkdownFileReferencesResolve(t *testing.T) {
+	docs := []string{"README.md", "ARCHITECTURE.md", "DESIGN.md", "EXPERIMENTS.md"}
+	extra, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, extra...)
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var targets []string
+		for _, m := range mdLinkRe.FindAllStringSubmatch(string(data), -1) {
+			targets = append(targets, m[1])
+		}
+		for _, m := range mdFileRefRe.FindAllStringSubmatch(string(data), -1) {
+			targets = append(targets, m[1])
+		}
+		for _, target := range targets {
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "#") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			// Templated or wildcard paths name generated artifacts
+			// (campaign dirs, trace files), not checked-in sources.
+			if strings.ContainsAny(target, "*<>$") || strings.HasPrefix(target, "/") {
+				continue
+			}
+			// Bare filenames without a path separator are usually runtime
+			// artifacts (results.txt, campaign.json) or files discussed in
+			// the context of their package; only path-qualified references
+			// are held to existence.
+			if !strings.Contains(target, "/") {
+				continue
+			}
+			if !fileExistsAt(doc, target) {
+				t.Errorf("%s references %q, which exists neither relative to the doc nor to the repo root", doc, target)
+			}
+		}
+	}
+}
+
+// fileExistsAt resolves target against the referencing doc's directory,
+// then against the repo root.
+func fileExistsAt(doc, target string) bool {
+	for _, base := range []string{filepath.Dir(doc), "."} {
+		if _, err := os.Stat(filepath.Join(base, target)); err == nil {
+			return true
+		}
+	}
+	return false
 }

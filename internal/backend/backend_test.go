@@ -1,0 +1,196 @@
+package backend
+
+import (
+	"context"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"mptcpsim/internal/sim"
+)
+
+func TestScenarioValidate(t *testing.T) {
+	good := Scenario{Topology: "twopath-sym", Algorithm: "lia"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("zero-filled valid scenario rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"unknown topology", func(s *Scenario) { s.Topology = "mesh" }, "unknown topology"},
+		{"unknown algorithm", func(s *Scenario) { s.Algorithm = "warp" }, "warp"},
+		{"negative load", func(s *Scenario) { s.Load = -0.1 }, "load"},
+		{"saturating load", func(s *Scenario) { s.Load = 1 }, "load"},
+		{"warmup past horizon", func(s *Scenario) { s.Horizon = sim.Second; s.Warmup = 2 * sim.Second }, "warmup"},
+		{"unknown energy model", func(s *Scenario) { s.EnergyModel = "solar" }, "energy"},
+		{"op length mismatch", func(s *Scenario) { s.Op = &OperatingPoint{RTT: []float64{0.04}, Frac: []float64{1}} }, "operating point"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := good
+			tc.mut(&sc)
+			err := sc.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTopologiesRegistry(t *testing.T) {
+	names := Topologies()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Topologies() not sorted: %v", names)
+	}
+	want := []string{"hetdelay", "threepath", "twopath-asym", "twopath-sym"}
+	if len(names) != len(want) {
+		t.Fatalf("Topologies() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Topologies() = %v, want %v", names, want)
+		}
+	}
+	if _, ok := TopologyFor("twopath-asym"); !ok {
+		t.Error("TopologyFor(twopath-asym) missing")
+	}
+	if _, ok := TopologyFor("mesh"); ok {
+		t.Error("TopologyFor(mesh) resolved")
+	}
+}
+
+// TestFluidEngineDCTCPUnmapped: dctcp is registered (the packet engine runs
+// it) but has no Eq. 3 mapping, so the fluid engine must refuse it with a
+// pointer at the packet engine rather than solve the wrong model.
+func TestFluidEngineDCTCPUnmapped(t *testing.T) {
+	sc := Scenario{Topology: "twopath-sym", Algorithm: "dctcp"}
+	_, err := FluidEngine{}.Run(context.Background(), sc)
+	if err == nil || !strings.Contains(err.Error(), "packet engine") {
+		t.Errorf("fluid dctcp: err = %v, want no-mapping error", err)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	if got := (PacketEngine{}).Name(); got != "packet" {
+		t.Errorf("PacketEngine.Name() = %q", got)
+	}
+	if got := (FluidEngine{}).Name(); got != "fluid" {
+		t.Errorf("FluidEngine.Name() = %q", got)
+	}
+}
+
+// TestFluidEngineThreePath: the solver generalizes past TwoPath — on the
+// 24/12/6 Mb/s grid the shares must order by capacity and sum to one.
+func TestFluidEngineThreePath(t *testing.T) {
+	sc := Scenario{Topology: "threepath", Algorithm: "lia"}
+	res, err := FluidEngine{}.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("fluid: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if len(res.Shares) != 3 {
+		t.Fatalf("got %d shares, want 3", len(res.Shares))
+	}
+	var sum float64
+	for _, s := range res.Shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+	if !(res.Shares[0] > res.Shares[1] && res.Shares[1] > res.Shares[2]) {
+		t.Errorf("shares %v not ordered by capacity", res.Shares)
+	}
+	if res.Events != 0 {
+		t.Errorf("fluid result reports %d events, want 0", res.Events)
+	}
+}
+
+// TestFluidEngineOracleUnderLoad: the delay-based family maps to the
+// free-capacity oracle; cross load on the last path must shrink its share
+// exactly to the remaining free capacity's fraction.
+func TestFluidEngineOracleUnderLoad(t *testing.T) {
+	sc := Scenario{Topology: "twopath-asym", Algorithm: "wvegas", Load: 0.5}
+	res, err := FluidEngine{}.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("fluid: %v", err)
+	}
+	// Free capacities: 16 Mb/s and 8·(1−0.5) = 4 Mb/s → shares 0.8 / 0.2.
+	if math.Abs(res.Shares[0]-0.8) > 1e-9 || math.Abs(res.Shares[1]-0.2) > 1e-9 {
+		t.Errorf("oracle shares = %v, want [0.8 0.2]", res.Shares)
+	}
+	if math.Abs(res.AggregateBps-20e6) > 1e-3*20e6 {
+		t.Errorf("aggregate = %v, want ~20 Mb/s of free capacity", res.AggregateBps)
+	}
+}
+
+func TestFluidEngineEnergyModels(t *testing.T) {
+	base := Scenario{Topology: "twopath-sym", Algorithm: "lia"}
+	withModel := base
+	withModel.EnergyModel = "i7"
+	res, err := FluidEngine{}.Run(context.Background(), withModel)
+	if err != nil {
+		t.Fatalf("fluid: %v", err)
+	}
+	if res.Joules <= 0 {
+		t.Errorf("i7 model integrated %v J over the window, want > 0", res.Joules)
+	}
+	none := base
+	none.EnergyModel = "none"
+	nres, err := FluidEngine{}.Run(context.Background(), none)
+	if err != nil {
+		t.Fatalf("fluid: %v", err)
+	}
+	if nres.Joules != 0 {
+		t.Errorf("EnergyModel none reported %v J", nres.Joules)
+	}
+}
+
+func TestEnginesHonourCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := Scenario{Topology: "twopath-sym", Algorithm: "lia"}
+	if _, err := (FluidEngine{}).Run(ctx, sc); err == nil {
+		t.Error("fluid engine ignored cancelled context")
+	}
+	if _, err := (PacketEngine{}).Run(ctx, sc); err == nil {
+		t.Error("packet engine ignored cancelled context")
+	}
+}
+
+// TestPacketEngineShortRun exercises the packet engine end to end on a
+// cheap horizon: measured shares, a measured operating point, and a
+// positive energy reading.
+func TestPacketEngineShortRun(t *testing.T) {
+	sc := Scenario{
+		Topology: "twopath-asym", Algorithm: "lia",
+		Horizon: 6 * sim.Second, Warmup: 2 * sim.Second,
+	}
+	res, err := PacketEngine{}.Run(context.Background(), sc)
+	if err != nil {
+		t.Fatalf("packet: %v", err)
+	}
+	if res.Fidelity != "packet" || !res.Converged {
+		t.Errorf("fidelity %q converged %v", res.Fidelity, res.Converged)
+	}
+	var sum float64
+	for _, s := range res.Shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+	if res.AggregateBps <= 0 || res.Events == 0 || res.Joules <= 0 {
+		t.Errorf("agg %v events %d joules %v; all must be positive", res.AggregateBps, res.Events, res.Joules)
+	}
+	for r := range res.Op.RTT {
+		if res.Op.RTT[r] <= 0 || res.Op.Frac[r] <= 0 || res.Op.Frac[r] > 1 {
+			t.Errorf("operating point path %d: rtt %v frac %v", r, res.Op.RTT[r], res.Op.Frac[r])
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+
+	"mptcpsim/internal/energy"
+	"mptcpsim/internal/fluid"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+)
+
+// FluidEngine answers scenarios by solving the paper's Eq. 3 equilibrium —
+// the same model, algorithm mapping (fluid.ModelFor) and solver
+// (EquilibriumShares) the conformance harness validates against packet
+// runs. It costs microseconds per scenario where the packet engine costs
+// seconds, and it answers only equilibrium questions: no loss-episode
+// transients, no failover dynamics, no per-RTT behaviour (docs/backends.md
+// spells out the fidelity model).
+type FluidEngine struct{}
+
+// Name implements Engine.
+func (FluidEngine) Name() string { return "fluid" }
+
+// Run implements Engine.
+func (FluidEngine) Run(ctx context.Context, sc Scenario) (Result, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	top, _ := TopologyFor(sc.Topology)
+	model, ok := fluid.ModelFor(sc.Algorithm)
+	if !ok {
+		return Result{}, fmt.Errorf("backend: %s has no fluid mapping; use the packet engine", sc.Algorithm)
+	}
+
+	paths, op := fluidPaths(top, sc)
+	res := Result{Fidelity: "fluid", Op: op}
+
+	var shares, rates []float64
+	if model.Oracle != nil {
+		// Delay-based family: the oracle fills each path's free capacity.
+		shares = model.Oracle(paths)
+		rates = make([]float64, len(paths))
+		for r, p := range paths {
+			free := p.Capacity - p.Cross
+			if free < 0 {
+				free = 0
+			}
+			rates[r] = free
+		}
+		res.Converged = true
+	} else {
+		s := &fluid.System{Paths: paths, PriceExp: priceExp}
+		s.Psi = model.Psi(op.RTT, op.Frac)
+		shares, rates, res.Converged = s.EquilibriumShares(1e-3, 400000)
+	}
+
+	res.Shares = shares
+	res.RateBps = make([]float64, len(rates))
+	for r, x := range rates {
+		res.RateBps[r] = x * 8 * wirePkt
+		res.AggregateBps += res.RateBps[r]
+	}
+	res.Joules = fluidJoules(sc, res, op)
+	return res, nil
+}
+
+// fluidPaths converts a topology into Eq. 3 paths plus the operating point
+// the model is evaluated at. Capacities and base RTTs are read off the
+// built netem topology (so serialization delays are included exactly as
+// the packet engine sees them). The default operating point models the
+// loss-based steady state: the bottleneck DropTail queue oscillates
+// between empty (right after a synchronized drop) and full, so SRTT is
+// estimated at baseRTT plus half the queue's drain time. Scenario.Op
+// overrides the estimate with a measured one.
+func fluidPaths(top Topology, sc Scenario) ([]fluid.Path, OperatingPoint) {
+	eng := sim.NewEngine(1)
+	n := topo.NewNPath(eng, top.Paths...)
+	ps := n.Paths()
+
+	paths := make([]fluid.Path, len(ps))
+	op := OperatingPoint{RTT: make([]float64, len(ps)), Frac: make([]float64, len(ps))}
+	for r, p := range ps {
+		rate := float64(p.MinRate())
+		base := p.BaseRTT(wirePkt, headerBytes).Seconds()
+		queueDelay := float64(top.Paths[r].Queue) * wirePkt * 8 / rate
+		srtt := base + queueDelay/2
+		op.RTT[r] = srtt
+		op.Frac[r] = base / srtt
+		paths[r] = fluid.Path{RTT: srtt, Capacity: rate / (8 * wirePkt)}
+	}
+	if sc.Op != nil {
+		op = *sc.Op
+		for r := range paths {
+			paths[r].RTT = op.RTT[r]
+		}
+	}
+	if sc.Load > 0 {
+		last := len(paths) - 1
+		paths[last].Cross = sc.Load * paths[last].Capacity
+	}
+	return paths, op
+}
+
+// fluidJoules estimates the measurement-window energy the packet engine's
+// meter would integrate: the host power model evaluated once at the
+// equilibrium (aggregate goodput, subflow count, traffic-weighted mean
+// RTT) times the window — the steady-state reading, with no transient
+// contribution by construction.
+func fluidJoules(sc Scenario, res Result, op OperatingPoint) float64 {
+	model, _ := energyModel(sc.EnergyModel)
+	if model == nil {
+		return 0
+	}
+	var rttWeighted, weight float64
+	for r := range op.RTT {
+		rttWeighted += res.RateBps[r] * op.RTT[r]
+		weight += res.RateBps[r]
+	}
+	smp := energy.Sample{
+		ThroughputBps: res.AggregateBps,
+		Subflows:      len(op.RTT),
+	}
+	if weight > 0 {
+		smp.MeanRTTSeconds = rttWeighted / weight
+	}
+	window := sc.Horizon - sc.Warmup
+	return model.Power(smp) * window.Seconds()
+}

@@ -1,0 +1,137 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"mptcpsim/internal/energy"
+	"mptcpsim/internal/mptcp"
+	"mptcpsim/internal/sim"
+	"mptcpsim/internal/topo"
+	"mptcpsim/internal/workload"
+)
+
+// PacketEngine answers scenarios with a full discrete-event run of the
+// netem/tcp/mptcp stack — the ground-truth backend. Its measurement
+// protocol is the conformance harness's: snapshot cumulative acks at
+// warmup, sample SRTT every 250 ms through the window, read the deltas at
+// the horizon. On the conformance topology at the conformance seed it is
+// run-for-run identical with internal/check's packet side.
+type PacketEngine struct{}
+
+// Name implements Engine.
+func (PacketEngine) Name() string { return "packet" }
+
+// Run implements Engine. Cancelling ctx stops the simulation at the next
+// simulated-second boundary and returns the context's error.
+func (PacketEngine) Run(ctx context.Context, sc Scenario) (Result, error) {
+	sc = sc.WithDefaults()
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	top, _ := TopologyFor(sc.Topology)
+
+	eng := sim.NewEngine(sc.Seed)
+	n := topo.NewNPath(eng, top.Paths...)
+	conn, err := mptcp.New(eng, mptcp.Config{Algorithm: sc.Algorithm}, 1, n.Paths()...)
+	if err != nil {
+		return Result{}, fmt.Errorf("backend: %w", err)
+	}
+	if sc.Load > 0 {
+		last := len(top.Paths) - 1
+		rate := int64(sc.Load * float64(top.Paths[last].Rate))
+		// Cross traffic enters at the shared hop, keeping the sender's
+		// access link clean — the conformance convention.
+		workload.NewCBR(eng, n.Paths()[last].Forward[1:], rate, wirePkt).Start()
+	}
+
+	var meter *energy.Meter
+	if model, _ := energyModel(sc.EnergyModel); model != nil {
+		meter = energy.NewMeter(eng, model, energy.ConnProbe(conn), 0)
+	}
+
+	subs := conn.Subflows()
+	ackAt := make([]int64, len(subs))
+	srttSum := make([]float64, len(subs))
+	var srttN int
+	eng.Schedule(sc.Warmup, func() {
+		for r := range ackAt {
+			ackAt[r] = subs[r].Acked()
+		}
+		if meter != nil {
+			meter.Start()
+		}
+	})
+	var sample func()
+	sample = func() {
+		for r := range srttSum {
+			srttSum[r] += subs[r].SRTT().Seconds()
+		}
+		srttN++
+		if eng.Now() < sc.Horizon {
+			eng.ScheduleAfter(250*sim.Millisecond, sample)
+		}
+	}
+	eng.Schedule(sc.Warmup, sample)
+
+	// Cooperative cancellation: poll the context once per simulated second
+	// and stop the engine early when it fires.
+	var poll func()
+	poll = func() {
+		if ctx.Err() != nil {
+			eng.Stop()
+			return
+		}
+		if eng.Now() < sc.Horizon {
+			eng.ScheduleAfter(sim.Second, poll)
+		}
+	}
+	eng.ScheduleAfter(sim.Second, poll)
+
+	conn.Start()
+	eng.Run(sc.Horizon)
+	if meter != nil {
+		meter.Flush()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Fidelity:  "packet",
+		Converged: true,
+		Events:    eng.Processed(),
+		Op:        OperatingPoint{RTT: make([]float64, len(subs)), Frac: make([]float64, len(subs))},
+		RateBps:   make([]float64, len(subs)),
+		Shares:    make([]float64, len(subs)),
+	}
+	window := (sc.Horizon - sc.Warmup).Seconds()
+	var total float64
+	delta := make([]float64, len(subs))
+	for r, s := range subs {
+		delta[r] = float64(s.Acked() - ackAt[r])
+		total += delta[r]
+	}
+	if total <= 0 {
+		return Result{}, fmt.Errorf("backend: %s/%s: no goodput in measurement window", sc.Topology, sc.Algorithm)
+	}
+	for r, s := range subs {
+		res.Shares[r] = delta[r] / total
+		res.RateBps[r] = delta[r] * 8 * mssBytes / window
+		res.AggregateBps += res.RateBps[r]
+		res.Op.RTT[r] = srttSum[r] / float64(srttN)
+		if base := s.BaseRTT().Seconds(); base > 0 && res.Op.RTT[r] > 0 {
+			res.Op.Frac[r] = math.Min(base/res.Op.RTT[r], 1)
+		} else {
+			res.Op.Frac[r] = 1
+		}
+	}
+	if meter != nil {
+		res.Joules = meter.Joules()
+	}
+	return res, nil
+}

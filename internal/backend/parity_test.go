@@ -1,0 +1,80 @@
+package backend
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEnginesMatchConformanceGolden pins the backend engines to the
+// committed conformance table: for every clean golden row (no Eq. 6 price,
+// no cross traffic — those rows carry harness-only knobs the Scenario
+// surface deliberately omits), the packet engine on "twopath-asym" must
+// reproduce the golden's pkt columns and the fluid engine — evaluated at
+// the packet run's measured operating point, exactly as the validator does
+// — must reproduce the fluid columns, byte-for-byte at the golden's %.3f
+// precision. This is what makes internal/check's validation transfer to
+// the backend seam: the validator and the engines cannot drift apart
+// without this test seeing it.
+func TestEnginesMatchConformanceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nine full-horizon packet runs")
+	}
+	data, err := os.ReadFile(filepath.Join("..", "check", "testdata", "conformance_golden.txt"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	// Rows whose harness spec sets price/phi/cross; the Scenario surface has
+	// no per-link price and its Load axis is not the shifting row's setup.
+	harnessOnly := map[string]bool{"dtsep": true, "dts-shift": true}
+
+	rows := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Scan() // header
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 8 {
+			t.Fatalf("malformed golden row %q", sc.Text())
+		}
+		alg := f[0]
+		if harnessOnly[alg] {
+			continue
+		}
+		rows++
+		t.Run(alg, func(t *testing.T) {
+			scenario := Scenario{Topology: "twopath-asym", Algorithm: alg, EnergyModel: "none"}
+			pres, err := PacketEngine{}.Run(context.Background(), scenario)
+			if err != nil {
+				t.Fatalf("packet: %v", err)
+			}
+			for r, want := range []string{f[3], f[4]} {
+				if got := fmt.Sprintf("%.3f", pres.Shares[r]); got != want {
+					t.Errorf("packet share[%d] = %s, golden pkt%d = %s", r, got, r, want)
+				}
+			}
+
+			fsc := scenario
+			fsc.Op = &pres.Op
+			fres, err := FluidEngine{}.Run(context.Background(), fsc)
+			if err != nil {
+				t.Fatalf("fluid: %v", err)
+			}
+			if !fres.Converged {
+				t.Fatalf("fluid solve did not converge")
+			}
+			for r, want := range []string{f[1], f[2]} {
+				if got := fmt.Sprintf("%.3f", fres.Shares[r]); got != want {
+					t.Errorf("fluid share[%d] = %s, golden fluid%d = %s", r, got, r, want)
+				}
+			}
+		})
+	}
+	if rows != 9 {
+		t.Fatalf("matched %d clean golden rows, want 9", rows)
+	}
+}

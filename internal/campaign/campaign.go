@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"mptcpsim/internal/backend"
 	"mptcpsim/internal/exp"
 )
 
@@ -53,6 +54,16 @@ type Spec struct {
 	Records bool `json:"records"`
 	// Check runs the invariant checker on every simulation run.
 	Check bool `json:"check"`
+
+	// Sweep, when set, adds hybrid backend-sweep units (see
+	// internal/backend): one cheap "sweep-fluid" unit per
+	// seed × topology × algorithm covering the whole load axis, plus one
+	// ordinary-cost "sweep-check" packet unit per spot-checked grid point.
+	// The spot-check sample is derived from the unit identities and the
+	// campaign seed, so the manifest — and therefore resume — pins exactly
+	// which points get packet verification. A campaign may be sweep-only
+	// (no Experiments).
+	Sweep *backend.SweepSpec `json:"sweep,omitempty"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -104,8 +115,8 @@ type Manifest struct {
 // scheduling never reorders it.
 func Expand(spec Spec) (*Manifest, error) {
 	spec = spec.withDefaults()
-	if len(spec.Experiments) == 0 {
-		return nil, fmt.Errorf("campaign: spec names no experiments")
+	if len(spec.Experiments) == 0 && spec.Sweep == nil {
+		return nil, fmt.Errorf("campaign: spec names no experiments and no sweep")
 	}
 	seen := make(map[string]bool)
 	m := &Manifest{Version: ManifestVersion, Spec: spec}
@@ -133,6 +144,11 @@ func Expand(spec Spec) (*Manifest, error) {
 					})
 				}
 			}
+		}
+	}
+	if spec.Sweep != nil {
+		if err := expandSweep(spec, m); err != nil {
+			return nil, err
 		}
 	}
 	return m, nil

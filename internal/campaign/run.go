@@ -139,7 +139,7 @@ func run(ctx context.Context, dir string, m *Manifest, opt Options) (*Summary, e
 	}
 	execFn := opt.Exec
 	if execFn == nil {
-		execFn = execUnit
+		execFn = dispatchUnit(m.Spec)
 	}
 
 	journal, recovery, err := OpenJournal(dir, opt.Shard, opt.SyncEvery)

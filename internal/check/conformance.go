@@ -89,23 +89,17 @@ func (c *Conformance) OK() bool {
 	return true
 }
 
-// confSpec describes how to validate one algorithm.
+// confSpec describes how to validate one algorithm. The fluid side of each
+// row — ψ builder or oracle — comes from fluid.ModelFor, the same mapping
+// the backend fluid engine uses (internal/backend), so the validator and
+// the backend cannot drift apart.
 type confSpec struct {
 	name string
 	alg  string // registry name for the packet run (defaults to name)
 	tol  float64
 
-	// psi builds the fluid traffic-shifting parameter from the measured
-	// per-path RTTs and baseRTT/RTT ratios. nil means the row uses an
-	// oracle instead of an Eq. 3 equilibrium (wVegas — delay-based, no
-	// loss price).
-	psi func(rtt, frac [2]float64) func(x []float64, r int) float64
-
 	// phi adds a compensative term (dtsep row). nil for none.
 	phi func(x []float64, r int) float64
-
-	// oracle, for rows without psi, returns the expected shares directly.
-	oracle func() [2]float64
 
 	// price, when non-zero, is applied to path0's switch-to-switch link
 	// before the packet run (the Eq. 6 charge the dtsep row needs).
@@ -116,66 +110,40 @@ type confSpec struct {
 	cross int64
 }
 
-func uniformPsi(fn core.ParamFunc) func(rtt, frac [2]float64) func(x []float64, r int) float64 {
-	return func(rtt, frac [2]float64) func(x []float64, r int) float64 {
-		return func(x []float64, r int) float64 {
-			return fn(viewsAt(x, rtt, frac), r)
-		}
+// algName returns the registry name the row runs and models.
+func (s confSpec) algName() string {
+	if s.alg != "" {
+		return s.alg
 	}
-}
-
-// viewsAt synthesizes core.Views from a fluid rate vector at the measured
-// per-path RTTs and RTT ratios (fluid.System.Views only supports one shared
-// ratio).
-func viewsAt(x []float64, rtt, frac [2]float64) []core.View {
-	views := make([]core.View, len(x))
-	for r := range x {
-		views[r] = core.View{
-			Cwnd:    x[r] * rtt[r],
-			SRTT:    rtt[r],
-			LastRTT: rtt[r],
-			BaseRTT: rtt[r] * frac[r],
-		}
-	}
-	return views
+	return s.name
 }
 
 func confSpecs() []confSpec {
-	dtsPsi := func(rtt, frac [2]float64) func(x []float64, r int) float64 {
-		return func(x []float64, r int) float64 {
-			return core.EpsExact(frac[r])
-		}
-	}
-	capShare := func() [2]float64 {
-		c0, c1 := float64(confRate0), float64(confRate1)
-		return [2]float64{c0 / (c0 + c1), c1 / (c0 + c1)}
-	}
 	return []confSpec{
-		{name: "ewtcp", tol: 0.10, psi: uniformPsi(core.PsiEWTCP)},
-		{name: "coupled", tol: 0.10, psi: uniformPsi(core.PsiCoupled)},
-		{name: "lia", tol: 0.10, psi: uniformPsi(core.PsiLIA)},
-		{name: "olia", tol: 0.10, psi: uniformPsi(core.PsiOLIA)},
-		{name: "balia", tol: 0.10, psi: uniformPsi(core.PsiBalia)},
+		{name: "ewtcp", tol: 0.10},
+		{name: "coupled", tol: 0.10},
+		{name: "lia", tol: 0.10},
+		{name: "olia", tol: 0.10},
+		{name: "balia", tol: 0.10},
 		// cubic: per-subflow CUBIC is uncoupled, and on disjoint DropTail
 		// bottlenecks any uncoupled loss-based law settles at the capacity
-		// split — the fluid side models it with ψ_r = (Σx)²/x_r² (n
-		// independent flows; the window-law details shift the loss rate, not
-		// the equilibrium share).
-		{name: "cubic", tol: 0.10, psi: uniformPsi(core.PsiUncoupled)},
+		// split — fluid.ModelFor maps it to ψ_r = (Σx)²/x_r² (n independent
+		// flows; the window-law details shift the loss rate, not the
+		// equilibrium share).
+		{name: "cubic", tol: 0.10},
 		// wVegas is delay-based: it keeps per-path backlog near its Vegas
 		// target instead of probing for loss, so the Kelly loss price of
-		// Eq. 3 does not model it. The oracle is the free-capacity split the
-		// paper expects of it on disjoint bottlenecks.
-		{name: "wvegas", tol: 0.10, oracle: capShare},
-		// vegas: plain per-subflow Vegas holds each path's backlog in [α, β]
-		// independently, filling both disjoint bottlenecks — same capacity
-		// oracle as wVegas.
-		{name: "vegas", tol: 0.10, oracle: capShare},
-		{name: "dts", tol: 0.10, psi: dtsPsi},
+		// Eq. 3 does not model it. fluid.ModelFor gives it the
+		// free-capacity-split oracle the paper expects of it on disjoint
+		// bottlenecks; same for plain per-subflow Vegas, which holds each
+		// path's backlog in [α, β] independently.
+		{name: "wvegas", tol: 0.10},
+		{name: "vegas", tol: 0.10},
+		{name: "dts", tol: 0.10},
 		// dtsep: path0's switch link charges the Eq. 6 price rho, and the
 		// fluid side carries the matching compensative term
 		// φ_0 = κ·ρ·x_0² (Eq. 9 converted to rate form).
-		{name: "dtsep", tol: 0.10, psi: dtsPsi, price: confPriceRho,
+		{name: "dtsep", tol: 0.10, price: confPriceRho,
 			phi: func(x []float64, r int) float64 {
 				if r != 0 {
 					return 0
@@ -189,7 +157,7 @@ func confSpecs() []confSpec {
 		// subflow a larger share than Eq. 3 predicts. The shifting DIRECTION
 		// is asserted exactly (see TestConformanceShiftMovesShare); the
 		// magnitude gets the 0.15 band.
-		{name: "dts-shift", alg: "dts", tol: 0.15, psi: dtsPsi, cross: confCrossBps},
+		{name: "dts-shift", alg: "dts", tol: 0.15, cross: confCrossBps},
 	}
 }
 
@@ -212,11 +180,7 @@ func runPacket(cfg ConformanceConfig, spec confSpec) (packetResult, error) {
 		// The switch-to-switch hop of path0 (the Eq. 6 charge point).
 		net.Paths()[0].Forward[1].SetPrice(spec.price, 0, 0)
 	}
-	alg := spec.alg
-	if alg == "" {
-		alg = spec.name
-	}
-	conn, err := mptcp.New(eng, mptcp.Config{Algorithm: alg}, 1, net.Paths()...)
+	conn, err := mptcp.New(eng, mptcp.Config{Algorithm: spec.algName()}, 1, net.Paths()...)
 	if err != nil {
 		return packetResult{}, err
 	}
@@ -279,40 +243,33 @@ func runPacket(cfg ConformanceConfig, spec confSpec) (packetResult, error) {
 	return res, nil
 }
 
+// confPaths is the fluid view of the fixed two-path scenario, optionally
+// with the shifting row's cross load on path1.
+func confPaths(pr packetResult, cross int64) []fluid.Path {
+	paths := []fluid.Path{
+		{RTT: pr.srtt[0], Capacity: float64(confRate0) / (8 * confWirePkt)},
+		{RTT: pr.srtt[1], Capacity: float64(confRate1) / (8 * confWirePkt)},
+	}
+	if cross != 0 {
+		paths[1].Cross = float64(cross) / (8 * confWirePkt)
+	}
+	return paths
+}
+
 // solveFluid computes the Eq. 3 equilibrium shares at the measured
-// operating point.
-func solveFluid(spec confSpec, pr packetResult) ([2]float64, bool) {
-	cap0 := float64(confRate0) / (8 * confWirePkt)
-	cap1 := float64(confRate1) / (8 * confWirePkt)
+// operating point, via the same fluid.ModelFor mapping and
+// EquilibriumShares solve path the backend fluid engine uses.
+func solveFluid(model fluid.AlgModel, spec confSpec, pr packetResult) ([2]float64, bool) {
 	// PriceExp sharpens the Kelly price beyond its default b=6: the packet
 	// scenario's DropTail queues are a hard capacity knee (no loss below
 	// capacity, heavy loss above), and a soft price would tax flows well
 	// below capacity — visibly starving the cross-loaded path of the
 	// shifting row where the real subflow still holds its share.
-	s := &fluid.System{Paths: []fluid.Path{
-		{RTT: pr.srtt[0], Capacity: cap0},
-		{RTT: pr.srtt[1], Capacity: cap1},
-	}, PriceExp: 20}
-	if spec.cross != 0 {
-		s.Paths[1].Cross = float64(spec.cross) / (8 * confWirePkt)
-	}
-	s.Psi = spec.psi(pr.srtt, pr.frac)
+	s := &fluid.System{Paths: confPaths(pr, spec.cross), PriceExp: 20}
+	s.Psi = model.Psi(pr.srtt[:], pr.frac[:])
 	s.Phi = spec.phi
-	// Seed the integration at half the FREE capacity of each path. Starting
-	// a cross-loaded path above its free share puts it over capacity, where
-	// the price crushes the rate to the floor — and recovery from near-zero
-	// is glacial in Eq. 3 (the increase scales with x_r²), so the integrator
-	// would report a spuriously starved equilibrium.
-	x0 := []float64{
-		math.Max((cap0-s.Paths[0].Cross)/2, 1),
-		math.Max((cap1-s.Paths[1].Cross)/2, 1),
-	}
-	x, ok := s.Equilibrium(x0, 1e-3, 400000)
-	agg := fluid.AggregateRate(x)
-	if agg <= 0 {
-		return [2]float64{}, false
-	}
-	return [2]float64{x[0] / agg, x[1] / agg}, ok
+	shares, _, ok := s.EquilibriumShares(1e-3, 400000)
+	return [2]float64{shares[0], shares[1]}, ok
 }
 
 // RunConformance runs the full differential harness.
@@ -320,15 +277,20 @@ func RunConformance(cfg ConformanceConfig) (*Conformance, error) {
 	cfg = cfg.withDefaults()
 	out := &Conformance{}
 	for _, spec := range confSpecs() {
+		model, ok := fluid.ModelFor(spec.algName())
+		if !ok {
+			return nil, fmt.Errorf("conformance %s: no fluid mapping for %q", spec.name, spec.algName())
+		}
 		pr, err := runPacket(cfg, spec)
 		if err != nil {
 			return nil, err
 		}
 		row := ConfRow{Algorithm: spec.name, PacketShare: pr.share, Tol: spec.tol}
-		if spec.psi != nil {
-			row.FluidShare, row.Converged = solveFluid(spec, pr)
+		if model.Psi != nil {
+			row.FluidShare, row.Converged = solveFluid(model, spec, pr)
 		} else {
-			row.FluidShare = spec.oracle()
+			shares := model.Oracle(confPaths(pr, spec.cross))
+			row.FluidShare = [2]float64{shares[0], shares[1]}
 			row.Converged = true
 		}
 		for r := range row.FluidShare {

@@ -137,12 +137,41 @@ func (s *System) Integrate(x0 []float64, dt float64, steps int) []float64 {
 
 // Equilibrium integrates until the relative derivative is below tol,
 // returning the state and whether it converged within maxSteps.
+//
+// ok = false means the returned state is the LAST ITERATE of a run that
+// never settled — typically an oscillation around the fixed point when the
+// step size is too large for a stiff system (a sharp PriceExp knee).
+// Callers must not present it as an equilibrium; use EquilibriumDamped to
+// retry stiff systems at smaller steps, and surface the flag either way.
 func (s *System) Equilibrium(x0 []float64, tol float64, maxSteps int) ([]float64, bool) {
+	return s.equilibriumAt(x0, 0.25*s.minRTT(), tol, maxSteps)
+}
+
+// EquilibriumDamped is Equilibrium with a stiffness fallback: when the
+// integration at the default step dt = minRTT/4 fails to settle (RK4
+// oscillating around the fixed point instead of approaching it), it retries
+// from x0 with the step halved, up to three times. A system that converges
+// on the first attempt takes exactly the same trajectory as Equilibrium, so
+// switching callers over cannot move an already-converging answer.
+func (s *System) EquilibriumDamped(x0 []float64, tol float64, maxSteps int) ([]float64, bool) {
+	dt := 0.25 * s.minRTT()
+	var x []float64
+	var ok bool
+	for attempt := 0; attempt < 4; attempt++ {
+		x, ok = s.equilibriumAt(x0, dt, tol, maxSteps)
+		if ok {
+			return x, true
+		}
+		dt /= 2
+	}
+	return x, false
+}
+
+func (s *System) equilibriumAt(x0 []float64, dt, tol float64, maxSteps int) ([]float64, bool) {
 	x := make([]float64, len(x0))
 	copy(x, x0)
 	dx := make([]float64, len(x0))
 	const batch = 200
-	dt := 0.25 * s.minRTT()
 	for step := 0; step < maxSteps; step += batch {
 		x = s.Integrate(x, dt, batch)
 		s.Derivative(x, dx)
@@ -158,6 +187,40 @@ func (s *System) Equilibrium(x0 []float64, tol float64, maxSteps int) ([]float64
 		}
 	}
 	return x, false
+}
+
+// EquilibriumShares solves the system from the standard seed — half the
+// free capacity of each path, floored at one packet/s — and returns the
+// per-path shares of the equilibrium aggregate alongside the raw rates.
+// This is the one solve path both the conformance validator
+// (internal/check) and the fluid backend engine (internal/backend) go
+// through, so validator and backend answers cannot drift apart.
+//
+// Seeding at half the FREE capacity matters: starting a cross-loaded path
+// above its free share puts it over capacity, where the price crushes the
+// rate to the floor — and recovery from near-zero is glacial in Eq. 3 (the
+// increase scales with x_r²), so the integrator would report a spuriously
+// starved equilibrium.
+//
+// ok = false means the integration never settled even with damped retries;
+// shares then describe the last iterate, not an equilibrium, and callers
+// must surface that (conformance prints "no-converge", the fluid engine
+// clears Result.Converged).
+func (s *System) EquilibriumShares(tol float64, maxSteps int) (shares, rates []float64, ok bool) {
+	x0 := make([]float64, len(s.Paths))
+	for r, p := range s.Paths {
+		x0[r] = math.Max((p.Capacity-p.Cross)/2, 1)
+	}
+	x, ok := s.EquilibriumDamped(x0, tol, maxSteps)
+	agg := AggregateRate(x)
+	if agg <= 0 {
+		return make([]float64, len(x)), x, false
+	}
+	shares = make([]float64, len(x))
+	for r, v := range x {
+		shares[r] = v / agg
+	}
+	return shares, x, ok
 }
 
 func (s *System) minRTT() float64 {

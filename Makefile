@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-engine bench-diff experiments full validate sweep docs soak campaign resume-smoke clean
+.PHONY: all build vet test race bench bench-engine bench-diff experiments full validate sweep docs soak campaign resume-smoke churn-smoke clean
 
 all: build vet test race
 
@@ -80,6 +80,13 @@ resume-smoke:
 	$(GO) build -o mptcp-bench ./cmd/mptcp-bench
 	./scripts/resume_smoke.sh ./mptcp-bench
 	rm -f mptcp-bench
+
+# Population-churn smoke (EXPERIMENTS.md, "Population workloads"): an
+# open-loop and an overloaded run under the invariant checker; overload
+# must degrade by deterministic shedding (exit 0), never by failure.
+churn-smoke:
+	$(GO) run ./cmd/mptcp-sim -topo fattree -alg lia -churn 2000 -check
+	$(GO) run ./cmd/mptcp-sim -topo fattree -alg lia -churn 2000 -max-flows 120 -check
 
 clean:
 	rm -f test_output.txt bench_output.txt experiments_output.md mptcp-bench

@@ -1,7 +1,9 @@
 // Command bench-diff gates performance regressions: it compares the per-experiment
 // events/sec of a freshly produced BENCH JSON (-new) against a committed
 // baseline (-old) and exits non-zero when any experiment present in both
-// regressed by more than the threshold (-max-regress, a fraction).
+// regressed by more than the threshold (-max-regress, a fraction). For
+// churn-style experiments both files also carry flows/sec; when both sides
+// report it, that rate is gated by the same threshold.
 // Experiments named in -allow are still reported but never fatal — the escape hatch for known, accepted slowdowns (wired
 // through the Makefile's BENCH_ALLOW variable and the CI bench job).
 //
@@ -23,6 +25,7 @@ import (
 type timing struct {
 	Experiment   string  `json:"experiment"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	FlowsPerSec  float64 `json:"flows_per_sec"`
 }
 
 // benchFile matches both schemas at once; whichever list is populated wins
@@ -35,8 +38,8 @@ type benchFile struct {
 }
 
 // load reads one BENCH JSON in either schema and returns experiment →
-// events/sec, preserving first-seen order in the returned slice of names.
-func load(path string) (map[string]float64, []string, error) {
+// timing, preserving first-seen order in the returned slice of names.
+func load(path string) (map[string]timing, []string, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
@@ -52,7 +55,7 @@ func load(path string) (map[string]float64, []string, error) {
 	if len(timings) == 0 {
 		return nil, nil, fmt.Errorf("%s: no experiment timings (neither \"experiments\" nor \"meta.timings\")", path)
 	}
-	rates := make(map[string]float64, len(timings))
+	rates := make(map[string]timing, len(timings))
 	var order []string
 	for _, t := range timings {
 		if t.Experiment == "" || t.EventsPerSec <= 0 {
@@ -61,7 +64,7 @@ func load(path string) (map[string]float64, []string, error) {
 		if _, dup := rates[t.Experiment]; !dup {
 			order = append(order, t.Experiment)
 		}
-		rates[t.Experiment] = t.EventsPerSec
+		rates[t.Experiment] = t
 	}
 	return rates, order, nil
 }
@@ -85,26 +88,40 @@ func run(oldPath, newPath string, maxRegress float64, allow map[string]bool, out
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(out, "%-12s %14s %14s %8s\n", "experiment", "base ev/s", "new ev/s", "ratio")
+	fmt.Fprintf(out, "%-12s %-8s %14s %14s %8s\n", "experiment", "rate", "base", "new", "ratio")
 	compared := 0
 	for _, name := range newOrder {
 		base, ok := oldRates[name]
 		if !ok {
-			fmt.Fprintf(out, "%-12s %14s %14.0f %8s  (not in baseline, skipped)\n", name, "-", newRates[name], "-")
+			fmt.Fprintf(out, "%-12s %-8s %14s %14.0f %8s  (not in baseline, skipped)\n", name, "ev/s", "-", newRates[name].EventsPerSec, "-")
 			continue
 		}
 		compared++
-		ratio := newRates[name] / base
-		note := ""
-		if ratio < 1-maxRegress {
-			if allow[name] {
-				note = fmt.Sprintf("  REGRESSED >%g%% (allowed)", maxRegress*100)
-			} else {
-				note = fmt.Sprintf("  REGRESSED >%g%%", maxRegress*100)
-				failed = append(failed, name)
-			}
+		gates := []struct {
+			label        string
+			baseRate, nw float64
+		}{
+			{"ev/s", base.EventsPerSec, newRates[name].EventsPerSec},
+			{"flows/s", base.FlowsPerSec, newRates[name].FlowsPerSec},
 		}
-		fmt.Fprintf(out, "%-12s %14.0f %14.0f %7.2fx%s\n", name, base, newRates[name], ratio, note)
+		for _, g := range gates {
+			if g.label == "flows/s" && (g.baseRate <= 0 || g.nw <= 0) {
+				// Flow throughput is only gated once both sides report it,
+				// so adding the metric never fails older baselines.
+				continue
+			}
+			ratio := g.nw / g.baseRate
+			note := ""
+			if ratio < 1-maxRegress {
+				if allow[name] {
+					note = fmt.Sprintf("  REGRESSED >%g%% (allowed)", maxRegress*100)
+				} else {
+					note = fmt.Sprintf("  REGRESSED >%g%%", maxRegress*100)
+					failed = append(failed, name)
+				}
+			}
+			fmt.Fprintf(out, "%-12s %-8s %14.0f %14.0f %7.2fx%s\n", name, g.label, g.baseRate, g.nw, ratio, note)
+		}
 	}
 	if compared == 0 {
 		return nil, fmt.Errorf("no experiment appears in both %s and %s", oldPath, newPath)

@@ -102,3 +102,41 @@ func TestEmptyTimingsError(t *testing.T) {
 		t.Fatal("file with no timings should fail to load")
 	}
 }
+
+func churnJSON(evps, flps float64) string {
+	return fmt.Sprintf(`{"meta":{"timings":[
+		{"experiment":"churn","events_per_sec":%g,"flows_per_sec":%g}]},"payload":{}}`, evps, flps)
+}
+
+func TestFlowsPerSecGated(t *testing.T) {
+	// Events/sec holds steady but flow turnover collapses — a lifecycle
+	// regression the events gate alone cannot see.
+	old := writeFile(t, "old.json", churnJSON(1000000, 5000))
+	niu := writeFile(t, "new.json", churnJSON(1000000, 4000)) // flows -20%
+	var out strings.Builder
+	failed, err := run(old, niu, 0.10, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != "churn" {
+		t.Fatalf("want [churn] failed on flows/s, got %v\n%s", failed, out.String())
+	}
+	if !strings.Contains(out.String(), "flows/s") {
+		t.Errorf("report should name the flows/s rate:\n%s", out.String())
+	}
+}
+
+func TestFlowsPerSecSkippedWhenBaselineLacksIt(t *testing.T) {
+	// An old baseline without flows_per_sec must not fail a new report that
+	// has it (and vice versa).
+	old := writeFile(t, "old.json", churnJSON(1000000, 0))
+	niu := writeFile(t, "new.json", churnJSON(1000000, 4000))
+	var out strings.Builder
+	failed, err := run(old, niu, 0.10, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Fatalf("missing baseline flows/s must not gate, got %v\n%s", failed, out.String())
+	}
+}

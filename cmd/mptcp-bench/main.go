@@ -109,11 +109,13 @@ func signalContext() (context.Context, context.CancelFunc) {
 }
 
 // benchTiming is one experiment's wall-clock row — volatile by nature, so
-// it lives in the report's meta section.
+// it lives in the report's meta section. FlowsPerSec appears only for
+// experiments that churn a flow population (Result.Flows > 0).
 type benchTiming struct {
 	Experiment   string  `json:"experiment"`
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	FlowsPerSec  float64 `json:"flows_per_sec,omitempty"`
 }
 
 // benchMeta is the volatile half of the -json report: clocks, versions and
@@ -131,10 +133,13 @@ type benchMeta struct {
 	Interrupted bool `json:"interrupted,omitempty"`
 }
 
-// benchRecord is one experiment's row in the deterministic payload.
+// benchRecord is one experiment's row in the deterministic payload. Flows
+// counts the offered flow population for churn-style experiments (0 and
+// omitted elsewhere).
 type benchRecord struct {
 	Experiment string `json:"experiment"`
 	Events     uint64 `json:"events"`
+	Flows      uint64 `json:"flows,omitempty"`
 }
 
 // benchOutcomes mirrors supervise.Counts into the -json report.
@@ -385,9 +390,10 @@ func run(args []string) error {
 		t := benchTiming{Experiment: e.ID, WallSeconds: wall}
 		if wall > 0 {
 			t.EventsPerSec = float64(res.Events) / wall
+			t.FlowsPerSec = float64(res.Flows) / wall
 		}
 		report.Meta.Timings = append(report.Meta.Timings, t)
-		report.Payload.Experiments = append(report.Payload.Experiments, benchRecord{Experiment: e.ID, Events: res.Events})
+		report.Payload.Experiments = append(report.Payload.Experiments, benchRecord{Experiment: e.ID, Events: res.Events, Flows: res.Flows})
 		report.Payload.TotalEvents += res.Events
 	}
 	report.Meta.TotalWallSec = time.Since(suiteStart).Seconds()

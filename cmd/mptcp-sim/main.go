@@ -7,10 +7,23 @@
 //	mptcp-sim -topo twopath -alg lia -bytes 20000000 -fault "path1:down@2s,up@5s"
 //	mptcp-sim -topo twopath -alg dts -runs 8 -j 4   # 8 seeds, 4 at a time
 //	mptcp-sim -topo twopath -alg dts -trace run.jsonl -sample-interval 50ms
+//	mptcp-sim -topo fattree -alg lia -churn 5000 -max-flows 600 -check
 //
 // -seed picks the base random seed (runs use seed..seed+runs-1), -rwnd caps
 // the connection receive window in segments, and -timeout sets a per-run
 // wall-clock deadline enforced by the run supervisor.
+//
+// -churn N replaces the single measured connection with an open-loop
+// population (internal/flows): N flows arrive Poisson across random host
+// pairs of a multi-host topology (fattree, vl2, bcube, ec2), with a
+// heavy-tailed web/bulk/stream size mix, and are torn down as they
+// complete. -arrival sets the rate in flows/sec (default 40 per host);
+// -max-flows caps concurrency — arrivals past the cap are shed
+// deterministically and accounted, never silently dropped. The run prints
+// the offered = completed + shed + cut reconciliation plus per-flow FCT,
+// goodput and marginal-energy percentiles; -trace records one "flow" line
+// per outcome. -churn is open-loop, so -bytes, -cross, -fault, -rwnd and
+// -runs > 1 do not apply.
 //
 // -trace streams a machine-readable run record (JSONL, see internal/obsv
 // and EXPERIMENTS.md): per-subflow cwnd/SRTT/loss series, algorithm
@@ -172,9 +185,15 @@ func run(args []string) error {
 		soakEv    = fs.Uint64("soak-events", 0, "per-scenario event budget during soak (0 = 20M)")
 		inject    = fs.Int("inject", 0, "arm a failpoint on every Nth soak scenario (quarantine self-test, 0 = off)")
 		replay    = fs.String("replay", "", "replay a quarantined artifact; exits 0 only if the recorded failure reproduces")
+		churn     = fs.Int("churn", 0, "run an open-loop population of this many flows instead of one connection (fattree, vl2, bcube, ec2)")
+		arrival   = fs.Float64("arrival", 0, "churn arrival rate in flows/sec (0 = 40 per host)")
+		maxFlows  = fs.Int("max-flows", 0, "churn admission cap on concurrent flows; excess arrivals are shed and accounted (0 = uncapped)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *churn <= 0 && (*arrival != 0 || *maxFlows != 0) {
+		return fmt.Errorf("-arrival and -max-flows require -churn")
 	}
 
 	ctx, stop := signalContext()
@@ -193,6 +212,25 @@ func run(args []string) error {
 		rwnd: *rwnd, fault: *fault,
 		trace: *traceOut, sampleInt: *sampleInt, multiTrace: *runs > 1,
 		check: *checkInv,
+	}
+
+	if *churn > 0 {
+		// The population is open-loop: the single-connection knobs have no
+		// meaning, and accepting them silently would misreport the scenario.
+		if *transfer != 0 || *cross || *fault != "" || *rwnd != 0 || *runs > 1 {
+			return fmt.Errorf("-churn is incompatible with -bytes, -cross, -fault, -rwnd and -runs > 1")
+		}
+		co := churnOpts{flows: *churn, arrival: *arrival, maxFlows: *maxFlows}
+		if *timeout <= 0 {
+			return runChurnScenario(ctx, sc, co, *seed, nil)
+		}
+		sup := supervise.New(supervise.Budget{Wall: *timeout})
+		rep := sup.Run(supervise.RunID{Seed: *seed, Scenario: sc.topo, Phase: "churn"},
+			func(wd *supervise.Watchdog) error { return runChurnScenario(ctx, sc, co, *seed, wd) })
+		if rep.Outcome.Failed() {
+			return rep.Err
+		}
+		return nil
 	}
 
 	if *runs <= 1 {

@@ -94,6 +94,48 @@ func TestKillResumeDeterminism(t *testing.T) {
 	}
 }
 
+// TestKillResumeChurnCampaign runs the kill/resume guarantee over the churn
+// experiment: its units each birth and tear down a whole flow population
+// (with per-flow record lines when Records is on), so a resumed campaign
+// reproducing the uninterrupted digests proves the open-loop lifecycle —
+// arrivals, shedding, horizon cuts — is deterministic across interruption.
+func TestKillResumeChurnCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn campaign units simulate thousands of flows each")
+	}
+	spec := Spec{Experiments: []string{"churn"}, Seeds: []int64{1}, Scale: 0.05, Records: true, Check: true}
+	wantResults, wantPayload := cleanRun(t, spec, 8)
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int64
+	if _, err := Start(ctx, dir, spec, Options{
+		Workers: 2,
+		OnUnitDone: func(Unit, Entry) {
+			if done.Add(1) == 1 {
+				cancel()
+			}
+		},
+	}); err != nil {
+		t.Fatalf("interrupted invocation errored: %v", err)
+	}
+	sum, err := Resume(context.Background(), dir, Options{Workers: 8})
+	if err != nil || !sum.Merged {
+		t.Fatalf("resume: sum=%+v err=%v", sum, err)
+	}
+	if sum.Reused < 1 {
+		t.Fatalf("resume reran checkpointed churn units: %+v", sum)
+	}
+	gotResults, gotPayload := mustOutputs(t, dir)
+	if gotResults != wantResults {
+		t.Errorf("results.txt differs from uninterrupted churn run:\n%s\nwant:\n%s", gotResults, wantResults)
+	}
+	if gotPayload != wantPayload {
+		t.Error("campaign.json differs from uninterrupted churn run (unit digests changed)")
+	}
+}
+
 // TestKillResumeDeterminismWithRecords repeats the kill/resume check with
 // obsv record export on. Records join the unit digest, and the digest is in
 // campaign.json, so the payload comparison proves record bytes survived the

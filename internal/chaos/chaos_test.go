@@ -131,6 +131,72 @@ func TestShrinkMinimisesTripScenario(t *testing.T) {
 	}
 }
 
+// TestGenerateChurnScenarios pins that the generator arms churn populations
+// on a reasonable fraction of datacenter scenarios, that churn scenarios
+// run clean organically, and that churn is never generated for single-route
+// topologies.
+func TestGenerateChurnScenarios(t *testing.T) {
+	churned := 0
+	for i := 0; i < 60; i++ {
+		sc := GenerateAt(3, i)
+		switch sc.Topo {
+		case "fattree", "vl2", "bcube":
+		default:
+			if sc.ChurnFlows > 0 {
+				t.Fatalf("scenario %d (%s): churn on single-route topology", i, sc)
+			}
+		}
+		if sc.ChurnFlows > 0 {
+			churned++
+		}
+	}
+	if churned == 0 {
+		t.Fatal("60 scenarios generated no churn population")
+	}
+
+	// One churn scenario end to end: clean run, and the accounting check in
+	// Run actually executes (CutLive balances the ledger at the horizon).
+	sc := Scenario{
+		Seed: 11, Topo: "fattree", Arity: 4, Subflows: 2, Algorithm: "lia",
+		HorizonMs: 1500, ChurnFlows: 300, ChurnRate: 300, ChurnCap: 40,
+		Faults: "path0:down@400ms,up@900ms",
+	}
+	rep := runScenario(t, sc)
+	if rep.Outcome.Failed() {
+		t.Fatalf("churn scenario failed: %+v", rep.Err)
+	}
+}
+
+// TestShrinkChurnScenario pins the churn-specific shrink stages: the
+// population halves away when it is irrelevant to the failure, and the
+// twopath collapse clears every churn field.
+func TestShrinkChurnScenario(t *testing.T) {
+	sc := Scenario{
+		Seed: 13, Topo: "fattree", Arity: 4, Subflows: 3, Algorithm: "olia",
+		HorizonMs: 2000, ChurnFlows: 400, ChurnRate: 300, ChurnCap: 50,
+		Faults:    "path0:loss@500ms=0.02",
+		Failpoint: "trip@700ms",
+	}
+	rep := runScenario(t, sc)
+	if !rep.Outcome.Failed() {
+		t.Fatal("carrier scenario did not fail")
+	}
+	sig := Signature(rep.Err)
+
+	shrunk, runs := Shrink(sc, sig, shortBudget(), DefaultShrinkRuns)
+	if runs == 0 {
+		t.Fatal("shrink spent no runs")
+	}
+	if shrunk.ChurnFlows != 0 || shrunk.ChurnRate != 0 || shrunk.ChurnCap != 0 {
+		t.Errorf("churn fields survived shrinking: flows=%d rate=%g cap=%d",
+			shrunk.ChurnFlows, shrunk.ChurnRate, shrunk.ChurnCap)
+	}
+	rep2 := runScenario(t, shrunk)
+	if !rep2.Outcome.Failed() || Signature(rep2.Err) != sig {
+		t.Fatalf("shrunk scenario does not reproduce %q: %+v", sig, rep2.Err)
+	}
+}
+
 // TestSoakDeterministicAcrossWorkers is the acceptance criterion: a
 // campaign with injected failures yields identical scenarios, failure
 // indexes, signatures and artifacts at every pool width.

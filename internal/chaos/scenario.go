@@ -25,6 +25,7 @@ import (
 
 	"mptcpsim/internal/check"
 	"mptcpsim/internal/faults"
+	"mptcpsim/internal/flows"
 	"mptcpsim/internal/mptcp"
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
@@ -56,10 +57,22 @@ type Scenario struct {
 	// clock (a simulated hang), "trip@T" injects a synthetic invariant
 	// violation. Empty for organically generated scenarios.
 	Failpoint string `json:"failpoint,omitempty"`
+	// ChurnFlows, when positive on a datacenter topology, runs an open-loop
+	// flow population (internal/flows) alongside the measured connection:
+	// up to ChurnFlows flows arrive Poisson at ChurnRate flows/sec across
+	// random host pairs, admission-capped at ChurnCap concurrent flows
+	// (0 = uncapped). The run fails if the population's flow accounting
+	// breaks (offered != completed + shed + cut).
+	ChurnFlows int     `json:"churn_flows,omitempty"`
+	ChurnRate  float64 `json:"churn_rate,omitempty"`
+	ChurnCap   int     `json:"churn_cap,omitempty"`
 }
 
 func (sc Scenario) String() string {
 	s := fmt.Sprintf("%s/%s sub=%d seed=%d horizon=%dms", sc.Topo, sc.Algorithm, sc.Subflows, sc.Seed, sc.HorizonMs)
+	if sc.ChurnFlows > 0 {
+		s += fmt.Sprintf(" churn=%d@%.0f/s cap=%d", sc.ChurnFlows, sc.ChurnRate, sc.ChurnCap)
+	}
 	if sc.Faults != "" {
 		s += " faults=" + sc.Faults
 	}
@@ -124,17 +137,35 @@ func GenerateAt(seed int64, i int) Scenario {
 		sc.Arity = 2 * (1 + rng.Intn(2)) // K = 2 or 4
 		sc.Subflows = 1 + rng.Intn(4)
 		sc.HorizonMs = 1000 + rng.Intn(2000)
+		genChurn(rng, &sc)
 	case "vl2":
 		sc.Arity = 2 + rng.Intn(3) // ToRs
 		sc.Subflows = 1 + rng.Intn(4)
 		sc.HorizonMs = 1000 + rng.Intn(2000)
+		genChurn(rng, &sc)
 	case "bcube":
 		sc.Arity = 2 + rng.Intn(2) // N
 		sc.Subflows = 1 + rng.Intn(3)
 		sc.HorizonMs = 1000 + rng.Intn(2000)
+		genChurn(rng, &sc)
 	}
 	sc.Faults = genFaults(rng, sc)
 	return sc
+}
+
+// genChurn arms an open-loop churn population on half of the datacenter
+// scenarios: an arrival rate crossed with an admission cap (present or
+// absent), so fault schedules run against both uncapped growth and
+// deterministic shedding.
+func genChurn(rng *rand.Rand, sc *Scenario) {
+	if rng.Intn(2) != 0 {
+		return
+	}
+	sc.ChurnFlows = 100 + rng.Intn(700)
+	sc.ChurnRate = float64(100 + rng.Intn(400))
+	if rng.Intn(2) == 0 {
+		sc.ChurnCap = 20 + rng.Intn(80)
+	}
 }
 
 // genFaults samples 0-2 clauses of the -fault grammar, every instant
@@ -180,6 +211,11 @@ type built struct {
 	eng   *sim.Engine
 	conn  *mptcp.Conn
 	paths []*netem.Path // the connection's path list; fault targets resolve here
+	// mkChurn, when the scenario carries a churn population, creates the
+	// flow manager. It is a deferred constructor rather than a manager
+	// because the invariant checker the population registers with is
+	// created by Run, after Build.
+	mkChurn func(inv *check.Invariants) (*flows.Manager, error)
 }
 
 // repeat fans n subflows over the physical paths round-robin.
@@ -204,6 +240,7 @@ func (sc Scenario) Build() (*built, error) {
 	}
 	eng := sim.NewEngine(sc.Seed)
 	var paths []*netem.Path
+	var mkChurn func(inv *check.Invariants) (*flows.Manager, error)
 	switch sc.Topo {
 	case "twopath":
 		tp := topo.NewTwoPath(eng, topo.TwoPathConfig{
@@ -246,8 +283,22 @@ func (sc Scenario) Build() (*built, error) {
 		}
 		dst := 1 + eng.Rand().Intn(hosts-1)
 		paths = net.Paths(0, dst, sc.Subflows)
+		if sc.ChurnFlows > 0 {
+			mkChurn = func(inv *check.Invariants) (*flows.Manager, error) {
+				return flows.New(eng, net, flows.Config{
+					Algorithm:     sc.Algorithm,
+					TotalFlows:    sc.ChurnFlows,
+					MaxConcurrent: sc.ChurnCap,
+					Arrivals:      flows.Poisson{Rate: sc.ChurnRate},
+					Check:         inv,
+				})
+			}
+		}
 	default:
 		return nil, fmt.Errorf("chaos: unknown topology %q", sc.Topo)
+	}
+	if sc.ChurnFlows > 0 && mkChurn == nil {
+		return nil, fmt.Errorf("chaos: churn population needs a datacenter topology, not %q", sc.Topo)
 	}
 
 	cfg := mptcp.Config{Algorithm: sc.Algorithm, TransferBytes: int64(sc.TransferMB) << 20}
@@ -272,7 +323,7 @@ func (sc Scenario) Build() (*built, error) {
 			faults.Apply(eng, p, pf.Faults...)
 		}
 	}
-	return &built{eng: eng, conn: conn, paths: paths}, nil
+	return &built{eng: eng, conn: conn, paths: paths, mkChurn: mkChurn}, nil
 }
 
 // dcNet is the common surface of the three datacenter topologies.
@@ -309,12 +360,31 @@ func (sc Scenario) Run(wd *supervise.Watchdog) error {
 	inv := check.New(b.eng)
 	inv.Watch("conn", b.conn)
 	inv.WatchPaths(b.paths...)
+	var mgr *flows.Manager
+	if b.mkChurn != nil {
+		if mgr, err = b.mkChurn(inv); err != nil {
+			return err
+		}
+	}
 	if err := sc.installFailpoint(b.eng, inv); err != nil {
 		return err
 	}
 	inv.Start()
 	b.conn.Start()
+	if mgr != nil {
+		mgr.Start()
+	}
 	b.eng.Run(sc.Horizon())
+	if mgr != nil {
+		// The horizon cuts whatever is still live; after that the zero-
+		// silent-loss ledger must balance, faults and all.
+		mgr.CutLive()
+		st := mgr.Stats()
+		if st.Offered != st.Completed+st.ShedCapacity+st.Cut {
+			return fmt.Errorf("chaos: churn accounting broken: %d offered != %d completed + %d shed + %d cut",
+				st.Offered, st.Completed, st.ShedCapacity, st.Cut)
+		}
+	}
 	inv.Final()
 	return inv.Err()
 }

@@ -41,10 +41,11 @@ func (sh *shrinker) reproduces(sc Scenario) bool {
 // relied on by the corpus tests — is:
 //
 //  1. drop fault clauses one at a time (greedy, to a fixed point)
-//  2. drop cross traffic
+//  2. drop cross traffic, then halve the churn population toward zero
 //  3. reduce subflows toward 2, then 1
 //  4. shrink the topology arity
-//  5. collapse datacenter/wireless topologies to twopath
+//  5. collapse datacenter/wireless topologies to twopath (clearing any
+//     remaining churn fields — twopath has no host population)
 //  6. halve the horizon (down to 500ms)
 //
 // Every candidate is accepted only if it still fails with the original
@@ -85,6 +86,25 @@ func Shrink(sc Scenario, sig string, budget supervise.Budget, maxRuns int) (Scen
 		}
 	}
 
+	// 2b. Churn population: halve toward zero. Below ~25 flows the
+	// population is noise, so the tail collapses straight to none (which
+	// also clears the rate and cap — a churn-free scenario carries no
+	// churn knobs).
+	for cur.ChurnFlows > 0 {
+		cand := cur
+		cand.ChurnFlows /= 2
+		if cand.ChurnFlows < 25 {
+			cand.ChurnFlows = 0
+		}
+		if cand.ChurnFlows == 0 {
+			cand.ChurnRate, cand.ChurnCap = 0, 0
+		}
+		if !sh.reproduces(cand) {
+			break
+		}
+		cur = cand
+	}
+
 	// 3. Subflows.
 	for _, n := range []int{2, 1} {
 		if cur.Subflows > n {
@@ -120,7 +140,8 @@ func Shrink(sc Scenario, sig string, budget supervise.Budget, maxRuns int) (Scen
 	}
 arityDone:
 
-	// 5. Topology collapse.
+	// 5. Topology collapse. Twopath has a single measured route, so any
+	// surviving churn population must go with the datacenter fabric.
 	if cur.Topo != "twopath" {
 		cand := cur
 		cand.Topo = "twopath"
@@ -128,6 +149,7 @@ arityDone:
 		cand.RateMbps = [2]int64{10, 10}
 		cand.DelayMs = 10
 		cand.QueueLimit = 100
+		cand.ChurnFlows, cand.ChurnRate, cand.ChurnCap = 0, 0, 0
 		if cand.Subflows < 2 {
 			cand.Subflows = 2
 		}

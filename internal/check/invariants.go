@@ -392,6 +392,20 @@ func (inv *Invariants) Watch(name string, c *mptcp.Conn) {
 	}
 }
 
+// Unwatch removes a previously watched connection so a churning population
+// can keep the watched set bounded by concurrency. Links stay watched —
+// link-level conservation is cumulative and cheap, and a link outlives the
+// flows crossing it. Unwatching a connection that was never watched is a
+// no-op.
+func (inv *Invariants) Unwatch(c *mptcp.Conn) {
+	for i, wc := range inv.conns {
+		if wc.conn == c {
+			inv.conns = append(inv.conns[:i], inv.conns[i+1:]...)
+			return
+		}
+	}
+}
+
 // WatchLinks registers links for per-link packet conservation.
 func (inv *Invariants) WatchLinks(links ...*netem.Link) {
 	inv.links = append(inv.links, links...)

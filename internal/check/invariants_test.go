@@ -293,6 +293,47 @@ func TestInvariantsLiveRun(t *testing.T) {
 	}
 }
 
+// TestUnwatch verifies a churning population can bound the watched set:
+// unwatched connections are no longer checked (their later corruption is
+// invisible), other watches and the links stay.
+func TestUnwatch(t *testing.T) {
+	eng := sim.NewEngine(5)
+	net := topo.NewTwoPath(eng, topo.TwoPathConfig{})
+	a := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia"}, 1, net.Paths()...)
+	b := mptcp.MustNew(eng, mptcp.Config{Algorithm: "lia"}, 2, net.Paths()...)
+
+	inv := New(eng)
+	inv.Watch("a", a)
+	inv.Watch("b", b)
+	if len(inv.conns) != 2 {
+		t.Fatalf("watching %d conns, want 2", len(inv.conns))
+	}
+	links := len(inv.links)
+	inv.Unwatch(a)
+	if len(inv.conns) != 1 || inv.conns[0].conn != b {
+		t.Fatalf("Unwatch(a) left %+v", inv.conns)
+	}
+	if len(inv.links) != links {
+		t.Errorf("Unwatch dropped links: %d -> %d", links, len(inv.links))
+	}
+	// Unwatching an unknown conn is a no-op, not a panic.
+	inv.Unwatch(a)
+	if len(inv.conns) != 1 {
+		t.Fatalf("double Unwatch removed another conn")
+	}
+	// The surviving watch still checks clean on the live engine.
+	inv.Start()
+	b.Start()
+	eng.Run(2 * sim.Second)
+	inv.Final()
+	if err := inv.Err(); err != nil {
+		t.Fatalf("post-Unwatch run violated invariants: %v", err)
+	}
+	if inv.Checks() == 0 {
+		t.Error("checker never ran after Unwatch")
+	}
+}
+
 // TestFailFastPanics verifies FailFast mode actually halts the run with the
 // violation detail (the experiment harness relies on this surfacing).
 func TestFailFastPanics(t *testing.T) {

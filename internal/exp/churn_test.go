@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// churnRowInts parses the count columns of one churn row.
+func churnRowInts(t *testing.T, row []string) (offered, completed, shed, cut, peak int) {
+	t.Helper()
+	ints := make([]int, 5)
+	for i, col := range []int{2, 3, 4, 5, 6} {
+		v, err := strconv.Atoi(row[col])
+		if err != nil {
+			t.Fatalf("row %v column %d: %v", row, col, err)
+		}
+		ints[i] = v
+	}
+	return ints[0], ints[1], ints[2], ints[3], ints[4]
+}
+
+func TestFigChurnSmoke(t *testing.T) {
+	skipIfShort(t)
+	res := FigChurn(tiny)
+	if want := len(churnScenarios) * len(churnAlgorithms); len(res.Rows) != want {
+		t.Fatalf("churn has %d rows, want %d", len(res.Rows), want)
+	}
+	var totalOffered uint64
+	for _, row := range res.Rows {
+		offered, completed, shed, cut, peak := churnRowInts(t, row)
+		totalOffered += uint64(offered)
+		// The zero-silent-loss contract, per row.
+		if completed+shed+cut != offered {
+			t.Errorf("%s/%s: %d + %d + %d != %d offered", row[0], row[1], completed, shed, cut, offered)
+		}
+		if peak <= 0 || completed <= 0 {
+			t.Errorf("%s/%s: degenerate run: peak %d, completed %d", row[0], row[1], peak, completed)
+		}
+		switch row[0] {
+		case "open":
+			if shed != 0 {
+				t.Errorf("open/%s: uncapped regime shed %d flows", row[1], shed)
+			}
+		case "overload":
+			if shed == 0 {
+				t.Errorf("overload/%s: shed nothing; overload lost its teeth", row[1])
+			}
+		}
+		// Completed flows yield positive percentile columns.
+		for _, col := range []int{7, 8, 9, 10} {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v <= 0 {
+				t.Errorf("%s/%s: column %d = %q, want positive", row[0], row[1], col, row[col])
+			}
+		}
+	}
+	if res.Flows != totalOffered {
+		t.Errorf("Result.Flows = %d, rows sum to %d", res.Flows, totalOffered)
+	}
+	if res.Events == 0 {
+		t.Error("Result.Events is zero")
+	}
+}
+
+func TestFigChurnDeterministicAcrossWorkerCounts(t *testing.T) {
+	skipIfShort(t)
+	seq, seqEvents := renderWith(t, "churn", tiny, 1)
+	par, parEvents := renderWith(t, "churn", tiny, 8)
+	if seq != par {
+		t.Errorf("churn table differs between Workers=1 and Workers=8:\n--- j=1 ---\n%s--- j=8 ---\n%s", seq, par)
+	}
+	if seqEvents == 0 || seqEvents != parEvents {
+		t.Errorf("event counts differ: %d (j=1) vs %d (j=8)", seqEvents, parEvents)
+	}
+}
+
+// TestFigChurnAxisSliceMatchesFullGrid extends the campaign-unit contract
+// to churn: a single (scenario, algorithm) cell is byte-identical to its
+// twin row in the full grid.
+func TestFigChurnAxisSliceMatchesFullGrid(t *testing.T) {
+	skipIfShort(t)
+	full := FigChurn(tiny)
+	cellCfg := tiny
+	cellCfg.Scenario = "overload"
+	cellCfg.Algorithm = "olia"
+	one := FigChurn(cellCfg)
+	if len(one.Rows) != 1 {
+		t.Fatalf("single-cell run has %d rows, want 1", len(one.Rows))
+	}
+	for _, row := range full.Rows {
+		if row[0] == "overload" && row[1] == "olia" {
+			if strings.Join(one.Rows[0], "|") != strings.Join(row, "|") {
+				t.Errorf("single-cell row %v, full-grid twin %v", one.Rows[0], row)
+			}
+			return
+		}
+	}
+	t.Fatal("full grid has no overload/olia row")
+}

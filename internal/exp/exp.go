@@ -218,6 +218,11 @@ type Result struct {
 	// the experiment; cmd/mptcp-bench reports it (with wall-clock) in the
 	// BENCH JSON. It is not part of the rendered table.
 	Events uint64
+	// Flows counts the workload flows the experiment offered, for the
+	// population-scale runs; cmd/mptcp-bench derives a flows/sec figure
+	// from it so cmd/bench-diff can gate churn-path regressions. Zero for
+	// figures without a flow population.
+	Flows uint64
 	// Interrupted reports that Config.Ctx was cancelled before every run
 	// of the figure was dispatched: the table is missing rows (each noted)
 	// and must not be treated as the figure's deterministic output —
@@ -334,6 +339,7 @@ var experiments = []Experiment{
 	{ID: "fig16", Title: "Aggregated throughput of DTS vs LIA in FatTree/VL2", Run: Fig16},
 	{ID: "fig17", Title: "Heterogeneous wireless: DTS/DTS-EP vs LIA", Run: Fig17},
 	{ID: "faults", Title: "Robustness: path outage, flapping and WiFi handover", Run: FigFaults, Algorithms: faultsAlgorithms, Scenarios: faultsScenarios},
+	{ID: "churn", Title: "Population churn: open-loop arrivals on FatTree, per-flow FCT/energy", Run: FigChurn, Algorithms: churnAlgorithms, Scenarios: churnScenarios},
 	{ID: "abl-c", Title: "Ablation: DTS constant c", Run: AblationC},
 	{ID: "abl-kappa", Title: "Ablation: Eq. 9 price weight kappa", Run: AblationKappa},
 	{ID: "abl-hystart", Title: "Ablation: slow-start delay guard", Run: AblationHystart},

@@ -68,8 +68,8 @@ func findRow(t *testing.T, res *Result, prefix ...string) int {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	if got := len(All()); got != 21 {
-		t.Errorf("registered %d experiments, want 16 figures + 4 ablations + faults suite", got)
+	if got := len(All()); got != 22 {
+		t.Errorf("registered %d experiments, want 16 figures + 4 ablations + faults + churn", got)
 	}
 	for _, id := range IDs() {
 		if _, ok := Lookup(id); !ok {

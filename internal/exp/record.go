@@ -101,6 +101,25 @@ func (o *expObs) Sample(name string, fn func() float64) {
 	o.rec.AddSampler(name, fn)
 }
 
+// Flow streams one per-flow outcome line to the run record (bounded: the
+// recorder never retains flow lines).
+func (o *expObs) Flow(f obsv.Flow) {
+	if o == nil || o.rec == nil {
+		return
+	}
+	o.rec.EmitFlow(f)
+}
+
+// Inv exposes the run's invariant checker (nil when checking is off), for
+// subsystems like the flow manager that watch and unwatch a churning
+// population themselves.
+func (o *expObs) Inv() *check.Invariants {
+	if o == nil {
+		return nil
+	}
+	return o.inv
+}
+
 // Summary records a scalar outcome for the record's summary line.
 func (o *expObs) Summary(name string, v float64) {
 	if o == nil || o.rec == nil {

@@ -15,6 +15,11 @@ func FuzzParseRecord(f *testing.F) {
 {"type":"event","t_s":0.2,"label":"subflow 1: active->dead"}
 {"type":"summary","v":{"goodput_mbps":93.5}}
 `))
+	f.Add([]byte(`{"type":"meta","schema":2,"experiment":"churn","scenario":"fattree","algorithm":"lia","seed":1,"sample_interval_s":0.1,"series":[]}
+{"type":"flow","t_s":0.7,"id":1,"class":"web","bytes":65536,"fct_s":0.42,"goodput_bps":1.2e6,"joules":0.03,"subflows":2}
+{"type":"flow","t_s":0.9,"id":2,"class":"bulk","bytes":1048576,"fct_s":0,"goodput_bps":0,"joules":0,"subflows":0,"shed":"capacity"}
+{"type":"summary","v":{"flows_completed":1}}
+`))
 	f.Add([]byte(`{"type":"sample","t_s":0.1,"v":{}}`))
 	f.Add([]byte("{\"type\":\"meta\",\"schema\":1,\"experiment\":\"\",\"scenario\":\"\",\"algorithm\":\"\",\"seed\":0,\"sample_interval_s\":0,\"series\":null}\n"))
 	f.Add([]byte("not json\n"))
@@ -33,10 +38,11 @@ func FuzzParseRecord(f *testing.F) {
 // structs the Recorder serializes with, then requires ParseRecord to return
 // exactly what was written.
 func FuzzRecordRoundTrip(f *testing.F) {
-	f.Add("fig9", "twopath", "conn.cwnd", int64(7), 0.5, 3.25, 12.0, "subflow 1: active->dead")
-	f.Add("", "", "", int64(-1), -0.0, 1e300, -1e-300, "")
-	f.Fuzz(func(t *testing.T, expID, scenario, series string, seed int64, t0, v0, summary float64, label string) {
-		for _, s := range []string{expID, scenario, series, label} {
+	f.Add("fig9", "twopath", "conn.cwnd", int64(7), 0.5, 3.25, 12.0, "subflow 1: active->dead", uint64(3), "web", "")
+	f.Add("", "", "", int64(-1), -0.0, 1e300, -1e-300, "", uint64(0), "", "capacity")
+	f.Add("churn", "fattree", "x", int64(9), 1.5, 0.5, 2.0, "e", uint64(1<<40), "stream", "horizon")
+	f.Fuzz(func(t *testing.T, expID, scenario, series string, seed int64, t0, v0, summary float64, label string, flowID uint64, class, shed string) {
+		for _, s := range []string{expID, scenario, series, label, class, shed} {
 			if !utf8.ValidString(s) {
 				t.Skip("json coerces invalid utf-8; not a round-trippable input")
 			}
@@ -54,6 +60,11 @@ func FuzzRecordRoundTrip(f *testing.F) {
 			},
 			sampleLine{Type: "sample", T: t0, V: map[string]float64{series: v0}},
 			eventLine{Type: "event", T: t0, Label: label},
+			flowLine{Type: "flow", Flow: Flow{
+				T: t0, ID: flowID, Class: class, Bytes: flowID,
+				FCTSeconds: v0, GoodputBps: v0, Joules: summary,
+				Subflows: int(seed & 7), Shed: shed,
+			}},
 			summaryLine{Type: "summary", V: map[string]float64{"goodput_mbps": summary}},
 		}
 		for _, l := range lines {
@@ -78,6 +89,14 @@ func FuzzRecordRoundTrip(f *testing.F) {
 		}
 		if len(rec.Events) != 1 || rec.Events[0].Label != label {
 			t.Fatalf("event mismatch: %+v", rec.Events)
+		}
+		if len(rec.Flows) != 1 {
+			t.Fatalf("flow mismatch: %+v", rec.Flows)
+		}
+		if fl := rec.Flows[0]; fl.ID != flowID || fl.Class != class || fl.Shed != shed ||
+			fl.T != t0 || fl.FCTSeconds != v0 || fl.GoodputBps != v0 ||
+			fl.Joules != summary || fl.Bytes != flowID || fl.Subflows != int(seed&7) {
+			t.Fatalf("flow round-trip mismatch: %+v", fl)
 		}
 		if rec.Summary["goodput_mbps"] != summary {
 			t.Fatalf("summary mismatch: %v", rec.Summary)

@@ -132,6 +132,62 @@ func TestRecorderRecordShape(t *testing.T) {
 	}
 }
 
+// TestEmitFlowRoundTrip streams flow lines mid-run and round-trips the
+// record through ParseRecord: every outcome comes back verbatim, in order,
+// and the recorder retains nothing for them.
+func TestEmitFlowRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	eng := sim.NewEngine(3)
+	rec := NewRecorder(eng, Meta{Experiment: "churn", Scenario: "fattree", Algorithm: "lia", Seed: 3}, Options{Stream: &buf})
+
+	flows := []Flow{
+		{T: 0.25, ID: 1, Class: "web", Bytes: 65536, FCTSeconds: 0.2, GoodputBps: 2.6e6, Joules: 0.05, Subflows: 2},
+		{T: 0.30, ID: 2, Class: "bulk", Bytes: 1 << 20, Shed: "capacity"},
+		{T: 0.95, ID: 3, Class: "stream", Bytes: 4096, FCTSeconds: 0.7, GoodputBps: 46811, Joules: math.NaN(), Subflows: 2, Shed: "horizon"},
+	}
+	// Before Start: dropped, not buffered.
+	rec.EmitFlow(Flow{ID: 99})
+	rec.Start()
+	for _, f := range flows {
+		f := f
+		eng.At(sim.Time(f.T*float64(sim.Second)), func() { rec.EmitFlow(f) })
+	}
+	eng.Run(1 * sim.Second)
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// After Close: dropped.
+	rec.EmitFlow(Flow{ID: 100})
+
+	parsed, err := ParseRecord(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseRecord: %v\n%s", err, buf.Bytes())
+	}
+	if parsed.Schema != SchemaVersion {
+		t.Errorf("schema %d, want %d", parsed.Schema, SchemaVersion)
+	}
+	if len(parsed.Flows) != len(flows) {
+		t.Fatalf("got %d flows, want %d: %+v", len(parsed.Flows), len(flows), parsed.Flows)
+	}
+	for i, want := range flows {
+		got := parsed.Flows[i]
+		if want.Joules != want.Joules { // the NaN joules sanitizes to 0
+			want.Joules = 0
+		}
+		if got != want {
+			t.Errorf("flow %d round-trip: got %+v, want %+v", i, got, want)
+		}
+	}
+	if len(rec.Rows()) != 0 {
+		t.Errorf("recorder retained %d rows; flow lines must not be retained", len(rec.Rows()))
+	}
+	// Grammar: a flow line after the summary is rejected.
+	bad := buf.String() + `{"type":"flow","t_s":2,"id":9,"class":"web","bytes":1,"fct_s":1,"goodput_bps":8,"joules":0,"subflows":1}` + "\n"
+	if _, err := ParseRecord(strings.NewReader(bad)); err == nil {
+		t.Error("flow line after summary parsed without error")
+	}
+}
+
 func TestRecorderDeterministic(t *testing.T) {
 	_, a := runSynthetic(t, Options{})
 	_, b := runSynthetic(t, Options{})

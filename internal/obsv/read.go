@@ -19,6 +19,7 @@ type Record struct {
 	Series          []string
 	Samples         []Sample
 	Events          []Event
+	Flows           []Flow
 	Summary         map[string]float64
 }
 
@@ -35,8 +36,8 @@ type Event struct {
 }
 
 // ParseRecord reads a JSONL run record and validates its line grammar: a
-// meta line first, then any mix of sample and event lines, and at most one
-// summary line which must be last. Unknown line types and malformed JSON
+// meta line first, then any mix of sample, event and flow lines, and at
+// most one summary line which must be last. Unknown line types and malformed JSON
 // are errors, so a truncated or corrupted record never parses silently.
 func ParseRecord(r io.Reader) (*Record, error) {
 	sc := bufio.NewScanner(r)
@@ -88,6 +89,12 @@ func ParseRecord(r io.Reader) (*Record, error) {
 				return nil, fmt.Errorf("obsv: record line %d: event: %w", lineNo, err)
 			}
 			rec.Events = append(rec.Events, Event{T: e.T, Label: e.Label})
+		case "flow":
+			var f flowLine
+			if err := json.Unmarshal(line, &f); err != nil {
+				return nil, fmt.Errorf("obsv: record line %d: flow: %w", lineNo, err)
+			}
+			rec.Flows = append(rec.Flows, f.Flow)
 		case "summary":
 			var s summaryLine
 			if err := json.Unmarshal(line, &s); err != nil {

@@ -15,6 +15,7 @@
 //	{"type":"meta", ...}     exactly once, first line: run identity
 //	{"type":"sample", ...}   one per sampling tick: t_s plus a value map
 //	{"type":"event", ...}    labelled instants (failover transitions)
+//	{"type":"flow", ...}     one per finished flow: FCT/goodput/energy outcome
 //	{"type":"summary", ...}  exactly once, last line: scalar outcomes
 //
 // Records are deterministic: value maps serialize with sorted keys, sample
@@ -36,7 +37,8 @@ import (
 
 // SchemaVersion identifies the record layout. Bump it when line shapes or
 // field meanings change; the golden-record CI check pins the current value.
-const SchemaVersion = 1
+// v2 added the per-flow "flow" line for population-scale churn runs.
+const SchemaVersion = 2
 
 // Meta identifies one run. It is written as the record's first line.
 type Meta struct {
@@ -58,10 +60,10 @@ type Meta struct {
 
 // metaLine is the serialized form of Meta plus schema bookkeeping.
 type metaLine struct {
-	Type    string `json:"type"`
-	Schema  int    `json:"schema"`
+	Type   string `json:"type"`
+	Schema int    `json:"schema"`
 	Meta
-	SampleIntervalS float64 `json:"sample_interval_s"`
+	SampleIntervalS float64  `json:"sample_interval_s"`
 	Series          []string `json:"series"`
 }
 
@@ -77,6 +79,37 @@ type eventLine struct {
 	Type  string  `json:"type"`
 	T     float64 `json:"t_s"`
 	Label string  `json:"label"`
+}
+
+// Flow is one flow's lifecycle outcome in a population run: streamed as a
+// bounded per-flow summary line the instant the outcome is decided, never
+// retained by the Recorder (a 50k-flow run must not hold 50k rows).
+type Flow struct {
+	// T is the instant the outcome was decided, in seconds.
+	T float64 `json:"t_s"`
+	// ID is the flow's identifier within the run.
+	ID uint64 `json:"id"`
+	// Class is the workload class ("web", "bulk", "stream").
+	Class string `json:"class"`
+	// Bytes delivered (or requested, for flows shed at admission).
+	Bytes uint64 `json:"bytes"`
+	// FCTSeconds is the flow completion time (time alive, for cut flows).
+	FCTSeconds float64 `json:"fct_s"`
+	// GoodputBps is the delivered goodput over the flow's lifetime.
+	GoodputBps float64 `json:"goodput_bps"`
+	// Joules is the flow's attributable energy.
+	Joules float64 `json:"joules"`
+	// Subflows the flow ran with (0 for shed flows).
+	Subflows int `json:"subflows"`
+	// Shed is empty for completed flows, "capacity" for admission drops,
+	// "horizon" for flows cut alive at the end of the run.
+	Shed string `json:"shed,omitempty"`
+}
+
+// flowLine is the serialized form of Flow with its type discriminator.
+type flowLine struct {
+	Type string `json:"type"`
+	Flow
 }
 
 // summaryLine closes the record with scalar outcomes.

@@ -267,6 +267,22 @@ func (r *Recorder) tick() {
 	r.eng.ScheduleAfter(r.opt.Interval, r.tickFn)
 }
 
+// EmitFlow streams one flow outcome line. Flow lines are written the moment
+// the outcome is decided and are never retained — the whole point of the
+// per-flow record is that a 50k-flow churn run costs the recorder zero
+// resident rows. Calling EmitFlow before Start, after Close, or without a
+// Stream is a no-op.
+func (r *Recorder) EmitFlow(f Flow) {
+	if !r.started || r.closed || r.opt.Stream == nil {
+		return
+	}
+	f.T = sanitize(f.T)
+	f.FCTSeconds = sanitize(f.FCTSeconds)
+	f.GoodputBps = sanitize(f.GoodputBps)
+	f.Joules = sanitize(f.Joules)
+	r.emit(flowLine{Type: "flow", Flow: f})
+}
+
 // Close stops sampling and completes the record: watched timeline events
 // (merged and time-ordered) followed by the summary line. It returns the
 // first stream-write error encountered over the record's lifetime.

@@ -245,6 +245,31 @@ func TestSimTimeBudget(t *testing.T) {
 	}
 }
 
+// TestHeapBytesBudget arms the nondeterministic heap backstop. An
+// impossible 1-byte budget must trip at the first heap check; a generous
+// budget must not interfere.
+func TestHeapBytesBudget(t *testing.T) {
+	run := func(heap uint64) Report {
+		s := New(Budget{HeapBytes: heap})
+		return s.Run(RunID{Seed: 12, Scenario: "heap", Phase: "test"}, func(wd *Watchdog) error {
+			eng := sim.NewEngine(12)
+			wd.Attach(eng)
+			var spin func()
+			spin = func() { eng.ScheduleAfter(50*sim.Millisecond, spin) }
+			eng.Schedule(0, spin)
+			eng.Run(2 * sim.Second)
+			return nil
+		})
+	}
+	rep := run(1)
+	if rep.Outcome != OverBudget || rep.Err.Kind != KindBudget {
+		t.Fatalf("1-byte heap budget: got %+v, want OverBudget", rep)
+	}
+	if rep := run(64 << 30); rep.Outcome != OK {
+		t.Fatalf("64 GiB heap budget tripped: %+v", rep)
+	}
+}
+
 func TestFailuresBounded(t *testing.T) {
 	s := New(Budget{})
 	for i := 0; i < maxFailures+10; i++ {

@@ -2,6 +2,7 @@ package supervise
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"mptcpsim/internal/sim"
@@ -22,6 +23,12 @@ type Budget struct {
 	// SimTime caps the simulated clock, independent of the run's own
 	// horizon (deterministic).
 	SimTime sim.Time
+	// HeapBytes caps the process's live heap (runtime.ReadMemStats
+	// HeapAlloc), checked on a periodic engine event. Like Wall this is a
+	// nondeterministic backstop — heap size depends on GC timing and on
+	// whatever else shares the process — so it belongs on population-scale
+	// runs as an OOM guard, not as a determinism-bearing bound.
+	HeapBytes uint64
 	// CheckEvery is the simulated cadence of the wall-clock check event.
 	// Defaults to 10ms of simulated time.
 	CheckEvery sim.Time
@@ -80,6 +87,26 @@ func (w *Watchdog) Attach(eng *sim.Engine) {
 			if w.now().After(w.deadline) {
 				panic(&Trip{Kind: KindTimeout, Msg: fmt.Sprintf(
 					"wall-clock deadline %v exceeded at %s", w.budget.Wall, w.lastObsv())})
+			}
+			eng.ScheduleAfter(every, tick)
+		}
+		eng.ScheduleAfter(every, tick)
+	}
+	if w.budget.HeapBytes > 0 {
+		// Heap checks are coarser than wall checks: ReadMemStats is not
+		// free, so the cadence floors at 100ms of simulated time.
+		every := w.budget.CheckEvery
+		if every < 100*sim.Millisecond {
+			every = 100 * sim.Millisecond
+		}
+		var tick func()
+		tick = func() {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > w.budget.HeapBytes {
+				panic(&Trip{Kind: KindBudget, Msg: fmt.Sprintf(
+					"heap budget %d bytes exceeded (HeapAlloc=%d) at %s",
+					w.budget.HeapBytes, ms.HeapAlloc, w.lastObsv())})
 			}
 			eng.ScheduleAfter(every, tick)
 		}

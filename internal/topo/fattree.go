@@ -149,13 +149,11 @@ func (f *FatTree) Paths(src, dst, n int) []*netem.Path {
 func (f *FatTree) Links() []*netem.Link { return f.g.Links() }
 
 // SwitchLinks returns the switch-to-switch links (edge-agg and agg-core),
-// the set the extended DTS prices (Eq. 6 charges only inter-switch links).
+// the set the extended DTS prices (Eq. 6 charges only inter-switch links),
+// in deterministic (from, to) key order so fault schedules that index into
+// the slice target the same physical link on every run.
 func (f *FatTree) SwitchLinks() []*netem.Link {
-	var out []*netem.Link
-	for key, l := range f.g.links {
-		if key[0] >= ftEdgeBase && key[0] < ftHostBase && key[1] >= ftEdgeBase && key[1] < ftHostBase {
-			out = append(out, l)
-		}
-	}
-	return out
+	return f.g.linksWhere(func(key [2]int32) bool {
+		return key[0] >= ftEdgeBase && key[0] < ftHostBase && key[1] >= ftEdgeBase && key[1] < ftHostBase
+	})
 }

@@ -10,6 +10,7 @@ package topo
 
 import (
 	"fmt"
+	"sort"
 
 	"mptcpsim/internal/netem"
 	"mptcpsim/internal/sim"
@@ -71,9 +72,29 @@ func (g *graph) path(name string, nodes ...int32) *netem.Path {
 // Links returns every link in the network (for counters and utilization
 // sweeps).
 func (g *graph) Links() []*netem.Link {
-	out := make([]*netem.Link, 0, len(g.links))
-	for _, l := range g.links {
-		out = append(out, l)
+	return g.linksWhere(func([2]int32) bool { return true })
+}
+
+// linksWhere returns the links whose (from, to) key satisfies pred, in
+// key order. Callers slice and index the result — fault schedules pick
+// links[0] to kill — so the order must not depend on map iteration, or
+// two runs of the same seed would fault different links.
+func (g *graph) linksWhere(pred func(key [2]int32) bool) []*netem.Link {
+	keys := make([][2]int32, 0, len(g.links))
+	for key := range g.links {
+		if pred(key) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]*netem.Link, len(keys))
+	for i, key := range keys {
+		out[i] = g.links[key]
 	}
 	return out
 }

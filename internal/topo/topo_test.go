@@ -127,6 +127,39 @@ func TestFatTreeSwitchLinks(t *testing.T) {
 	}
 }
 
+// Link enumeration order must not depend on map iteration: fault schedules
+// index into these slices (kill links[0], flap links[1]), so a reshuffled
+// order would fault different physical links run to run and break the
+// byte-identical determinism contract.
+func TestLinkEnumerationDeterministic(t *testing.T) {
+	names := func(ls []*netem.Link) []string {
+		out := make([]string, len(ls))
+		for i, l := range ls {
+			out[i] = l.Name()
+		}
+		return out
+	}
+	build := func(eng *sim.Engine) [][]string {
+		ft, _ := NewFatTree(eng, FatTreeConfig{K: 4})
+		vl, _ := NewVL2(eng, VL2Config{})
+		return [][]string{names(ft.SwitchLinks()), names(ft.Links()), names(vl.SwitchLinks())}
+	}
+	a := build(sim.NewEngine(1))
+	for trial := 0; trial < 5; trial++ {
+		b := build(sim.NewEngine(1))
+		for i := range a {
+			if len(a[i]) != len(b[i]) {
+				t.Fatalf("enumeration %d: %d links vs %d", i, len(a[i]), len(b[i]))
+			}
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("enumeration %d reordered at %d: %q vs %q", i, j, a[i][j], b[i][j])
+				}
+			}
+		}
+	}
+}
+
 func TestVL2PaperScale(t *testing.T) {
 	eng := sim.NewEngine(1)
 	v, err := NewVL2(eng, VL2Config{})

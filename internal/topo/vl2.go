@@ -153,13 +153,10 @@ func (v *VL2) Paths(src, dst, n int) []*netem.Path {
 // Links exposes every link.
 func (v *VL2) Links() []*netem.Link { return v.g.Links() }
 
-// SwitchLinks returns the switch-to-switch links for energy pricing.
+// SwitchLinks returns the switch-to-switch links for energy pricing, in
+// deterministic (from, to) key order (see graph.linksWhere).
 func (v *VL2) SwitchLinks() []*netem.Link {
-	var out []*netem.Link
-	for key, l := range v.g.links {
-		if key[0] < vl2HostBase && key[1] < vl2HostBase {
-			out = append(out, l)
-		}
-	}
-	return out
+	return v.g.linksWhere(func(key [2]int32) bool {
+		return key[0] < vl2HostBase && key[1] < vl2HostBase
+	})
 }

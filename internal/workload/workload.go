@@ -36,6 +36,7 @@ type CBR struct {
 	pktSize int
 	sent    uint64
 	stopped bool
+	timer   sim.Timer
 }
 
 // NewCBR creates a constant-bit-rate source over the given links.
@@ -49,8 +50,11 @@ func NewCBR(eng *sim.Engine, route []*netem.Link, rateBps int64, pktSize int) *C
 // Start begins transmission.
 func (c *CBR) Start() { c.emit() }
 
-// Stop halts transmission.
-func (c *CBR) Stop() { c.stopped = true }
+// Stop halts transmission and cancels the pending emit event.
+func (c *CBR) Stop() {
+	c.stopped = true
+	c.timer.Stop()
+}
 
 // Sent reports packets injected.
 func (c *CBR) Sent() uint64 { return c.sent }
@@ -72,7 +76,7 @@ func (c *CBR) emit() {
 	p.SetRoute(c.route, c.sink)
 	p.Send()
 	c.sent++
-	c.eng.After(c.interval(), c.emit)
+	c.timer = c.eng.After(c.interval(), c.emit)
 }
 
 // ParetoOnOff is the paper's bursty cross-traffic generator (§VI-B): the
@@ -96,6 +100,14 @@ type ParetoOnOff struct {
 	stopped bool
 	sent    uint64
 	onTime  sim.Time
+
+	// Live timer handles, cancelled by Stop: the pending Off-gap, the
+	// current burst's tick chain, and the current burst's end event. A
+	// stopped generator must leave nothing in the event heap — a live gap
+	// timer would otherwise fire a whole post-Stop burst.
+	gapTimer  sim.Timer
+	tickTimer sim.Timer
+	endTimer  sim.Timer
 }
 
 // ParetoConfig parameterizes the generator; zero values take the paper's
@@ -140,8 +152,15 @@ func NewParetoOnOff(eng *sim.Engine, route []*netem.Link, cfg ParetoConfig) *Par
 // Start begins the Off/On cycle (starting Off).
 func (p *ParetoOnOff) Start() { p.scheduleOn() }
 
-// Stop halts the generator.
-func (p *ParetoOnOff) Stop() { p.stopped = true }
+// Stop halts the generator and cancels its pending events, so a stopped
+// source neither bursts again nor keeps the event heap populated.
+func (p *ParetoOnOff) Stop() {
+	p.stopped = true
+	p.active = false
+	p.gapTimer.Stop()
+	p.tickTimer.Stop()
+	p.endTimer.Stop()
+}
 
 // Active reports whether a burst is in progress.
 func (p *ParetoOnOff) Active() bool { return p.active }
@@ -157,7 +176,7 @@ func (p *ParetoOnOff) scheduleOn() {
 		return
 	}
 	gap := p.expDuration(p.meanOff)
-	p.eng.After(gap, p.burst)
+	p.gapTimer = p.eng.After(gap, p.burst)
 }
 
 func (p *ParetoOnOff) burst() {
@@ -184,10 +203,10 @@ func (p *ParetoOnOff) burst() {
 		pkt.SetRoute(p.route, p.sink)
 		pkt.Send()
 		p.sent++
-		p.eng.After(interval, tick)
+		p.tickTimer = p.eng.After(interval, tick)
 	}
 	tick()
-	p.eng.At(end, func() {
+	p.endTimer = p.eng.At(end, func() {
 		p.active = false
 		p.scheduleOn()
 	})

@@ -82,6 +82,60 @@ func TestParetoOnOffStops(t *testing.T) {
 	}
 }
 
+// TestParetoOnOffStopCancelsPendingEvents is the regression test for the
+// timer leak: Stop used to only set a flag, leaving the Off-gap (or burst
+// tick/end) timer live in the event heap — a zombie event that could fire a
+// whole post-Stop burst and kept a "drained" engine from ever emptying.
+func TestParetoOnOffStopCancelsPendingEvents(t *testing.T) {
+	// Stop during the Off gap: the pending burst timer must be cancelled.
+	eng := sim.NewEngine(7)
+	l := testLink(eng, netem.Gbps)
+	p := NewParetoOnOff(eng, []*netem.Link{l}, ParetoConfig{})
+	p.Start()
+	if eng.Pending() == 0 {
+		t.Fatal("Start scheduled nothing")
+	}
+	p.Stop()
+	if n := eng.Pending(); n != 0 {
+		t.Errorf("Stop during Off gap left %d events in the heap", n)
+	}
+
+	// Stop mid-burst: the tick chain and the burst-end event must both go.
+	// A probe event halts the engine as soon as a burst is in progress.
+	eng = sim.NewEngine(7)
+	l = testLink(eng, netem.Gbps)
+	p = NewParetoOnOff(eng, []*netem.Link{l}, ParetoConfig{})
+	p.Start()
+	var watch func()
+	watch = func() {
+		if p.Active() {
+			eng.Stop()
+			return
+		}
+		eng.ScheduleAfter(sim.Millisecond, watch)
+	}
+	eng.ScheduleAfter(sim.Millisecond, watch)
+	eng.Run(1000 * sim.Second)
+	if !p.Active() {
+		t.Fatal("generator never entered a burst")
+	}
+	p.Stop()
+	if p.Active() {
+		t.Error("generator still Active after Stop")
+	}
+	at := p.Sent()
+	// Packets already in flight still traverse the link, but generation has
+	// ceased and nothing the generator owns is left behind: the heap drains
+	// completely instead of carrying burst timers to their natural expiry.
+	eng.Run(2000 * sim.Second)
+	if p.Sent() != at {
+		t.Errorf("generator kept sending after mid-burst Stop: %d -> %d", at, p.Sent())
+	}
+	if n := eng.Pending(); n != 0 {
+		t.Errorf("%d events left in the heap after drain", n)
+	}
+}
+
 func TestParetoDurationMean(t *testing.T) {
 	eng := sim.NewEngine(3)
 	p := NewParetoOnOff(eng, nil, ParetoConfig{MeanOn: 5 * sim.Second, Shape: 2.5})
